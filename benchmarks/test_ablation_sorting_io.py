@@ -1,0 +1,112 @@
+"""Ablation (Section 4.4.3): trace sorting, file grouping and pruning.
+
+The paper's I/O work has three measurable effects that this bench reproduces
+on the mini-Sherpa dataset:
+
+* pre-sorting traces by trace type makes minibatch-sized chunks predominantly
+  single-type, which raises the effective minibatch size (training-speed gains
+  of up to 50x at scale) — measured here as the effective minibatch size and
+  the number of sub-minibatches per minibatch, sorted vs unsorted;
+* grouping small shard files into larger ones turns random reads into
+  sequential reads of contiguous file regions — measured as shard-cache hit
+  rates for sequential-after-sorting vs random access;
+* pruning + the address dictionary shrink the serialised traces (reported 40%
+  memory reduction) — measured as on-disk bytes per trace.
+"""
+
+import os
+
+import numpy as np
+
+from repro.common.rng import RandomState
+from repro.data import (
+    ShardStore,
+    effective_minibatch_size,
+    regroup_dataset,
+    sorted_indices_by_trace_type,
+    sub_minibatch_count,
+)
+from repro.trace import AddressDictionary, prune_trace, pruned_size_bytes
+
+from benchmarks.conftest import print_table
+
+CHUNK = 16
+
+
+def _chunk_stats(dataset, order):
+    types = [dataset.trace_type_of(i) for i in order]
+    effective = []
+    sub_counts = []
+    for start in range(0, len(types) - CHUNK + 1, CHUNK):
+        chunk = types[start : start + CHUNK]
+        effective.append(effective_minibatch_size(chunk))
+        sub_counts.append(sub_minibatch_count(chunk))
+    return float(np.mean(effective)), float(np.mean(sub_counts))
+
+
+def test_ablation_sorting_grouping_pruning(benchmark, tau_dataset, tmp_path):
+    # --- sorting: effective minibatch size -----------------------------------
+    unsorted_order = list(range(len(tau_dataset)))
+    sorted_order = benchmark(lambda: sorted_indices_by_trace_type(tau_dataset))
+    unsorted_eff, unsorted_subs = _chunk_stats(tau_dataset, unsorted_order)
+    sorted_eff, sorted_subs = _chunk_stats(tau_dataset, sorted_order)
+
+    # --- grouping: shard-cache behaviour under sequential vs random access ----
+    directory = os.path.join(tmp_path, "regrouped")
+    regrouped = regroup_dataset(tau_dataset, directory, records_per_shard=50, order=sorted_order)
+    store: ShardStore = regrouped.store
+    store.clear_cache()
+    for i in range(len(regrouped)):
+        _ = store[i]
+    sequential_miss_rate = store.cache_misses / (store.cache_hits + store.cache_misses)
+    store.clear_cache()
+    random_order = RandomState(3).permutation(len(regrouped))
+    small_cache = ShardStore(directory, cache_size=1)
+    for i in random_order:
+        _ = small_cache[int(i)]
+    random_miss_rate = small_cache.cache_misses / (small_cache.cache_hits + small_cache.cache_misses)
+
+    # --- pruning + address dictionary: bytes per trace -------------------------
+    traces = tau_dataset.get_batch(range(60))
+    dictionary = AddressDictionary()
+    full_bytes = np.mean([pruned_size_bytes(t.to_dict()) for t in traces])
+    pruned_bytes = np.mean(
+        [pruned_size_bytes(prune_trace(t, address_dictionary=dictionary)) for t in traces]
+    )
+
+    print_table(
+        "Ablation: I/O pipeline (sorting, grouping, pruning)",
+        ["quantity", "unsorted / naive", "sorted / optimised", "improvement"],
+        [
+            [
+                "effective minibatch size",
+                f"{unsorted_eff:.1f}",
+                f"{sorted_eff:.1f}",
+                f"{sorted_eff / unsorted_eff:.1f}x",
+            ],
+            [
+                "sub-minibatches per minibatch",
+                f"{unsorted_subs:.1f}",
+                f"{sorted_subs:.1f}",
+                f"{unsorted_subs / sorted_subs:.1f}x fewer",
+            ],
+            [
+                "shard read miss rate",
+                f"{random_miss_rate:.2f}",
+                f"{sequential_miss_rate:.2f}",
+                f"{random_miss_rate / max(sequential_miss_rate, 1e-9):.1f}x fewer misses",
+            ],
+            [
+                "bytes per stored trace",
+                f"{full_bytes:.0f}",
+                f"{pruned_bytes:.0f}",
+                f"{100 * (1 - pruned_bytes / full_bytes):.0f}% smaller",
+            ],
+        ],
+    )
+
+    # Shape assertions.
+    assert sorted_eff > unsorted_eff                      # sorting raises effective minibatch size
+    assert sorted_subs < unsorted_subs                    # and cuts sub-minibatch count
+    assert sequential_miss_rate <= random_miss_rate       # grouping+sequential access is cache friendly
+    assert pruned_bytes < 0.8 * full_bytes                # pruning + dictionary: substantial shrink

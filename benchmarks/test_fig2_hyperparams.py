@@ -1,0 +1,77 @@
+"""Figure 2: hyperparameter search — loss curves for different NN architectures.
+
+The paper sweeps LSTM hidden units {128, 256, 512}, LSTM stacks {1..4} and
+proposal mixture components {5, 10, 25, 50} and picks 512 units / 1 stack / 10
+components.  This bench runs a scaled-down version of the same grid on the
+mini-Sherpa model and prints the loss after a fixed trace budget for every
+configuration, asserting that (a) every configuration's loss improves and
+(b) larger LSTMs do at least as well as smaller ones at equal budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import Config
+from repro.common.rng import RandomState
+from repro.ppl.inference.inference_compilation import InferenceCompilation
+
+from benchmarks.conftest import print_series
+
+GRID = [
+    {"lstm_hidden": 16, "lstm_stacks": 1, "proposal_mixture_components": 2},
+    {"lstm_hidden": 32, "lstm_stacks": 1, "proposal_mixture_components": 2},
+    {"lstm_hidden": 32, "lstm_stacks": 2, "proposal_mixture_components": 2},
+    {"lstm_hidden": 32, "lstm_stacks": 1, "proposal_mixture_components": 5},
+]
+
+NUM_TRACES = 960
+MINIBATCH = 16
+
+
+def _train_one(config_overrides, dataset):
+    config = Config(
+        observation_shape=(8, 11, 11),
+        observation_embedding_dim=16,
+        address_embedding_dim=8,
+        sample_embedding_dim=4,
+        **config_overrides,
+    )
+    engine = InferenceCompilation(config=config, observe_key="detector", rng=RandomState(3))
+    history = engine.train(
+        dataset=dataset, num_traces=NUM_TRACES, minibatch_size=MINIBATCH, learning_rate=3e-3
+    )
+    return history
+
+
+def test_fig2_hyperparameter_search(benchmark, tau_dataset):
+    dataset = list(tau_dataset)[:256]
+    histories = {}
+    for overrides in GRID[:-1]:
+        label = f"units={overrides['lstm_hidden']} stacks={overrides['lstm_stacks']} mix={overrides['proposal_mixture_components']}"
+        histories[label] = _train_one(overrides, dataset)
+    # The last configuration goes through the benchmark fixture so the harness
+    # reports a representative wall-clock cost per configuration.
+    last = GRID[-1]
+    label = f"units={last['lstm_hidden']} stacks={last['lstm_stacks']} mix={last['proposal_mixture_components']}"
+    histories[label] = benchmark.pedantic(_train_one, args=(last, dataset), iterations=1, rounds=1)
+
+    iterations = list(range(1, NUM_TRACES // MINIBATCH + 1))
+    smoothed = {
+        label: np.convolve(history.losses, np.ones(5) / 5, mode="same")
+        for label, history in histories.items()
+    }
+    print_series(
+        "Figure 2: loss vs traces seen for NN architectures (scaled-down grid)",
+        "iteration",
+        iterations,
+        {label: list(curve) for label, curve in smoothed.items()},
+    )
+
+    for label, history in histories.items():
+        early = np.mean(history.losses[:5])
+        late = np.mean(history.losses[-5:])
+        assert late < early, f"{label} did not improve"
+    # Larger LSTM should end at a loss no worse than the smallest one (allowing noise).
+    small = np.mean(histories[f"units=16 stacks=1 mix=2"].losses[-5:])
+    large = np.mean(histories[f"units=32 stacks=1 mix=2"].losses[-5:])
+    assert large <= small * 1.15

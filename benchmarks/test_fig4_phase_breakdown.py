@@ -1,0 +1,78 @@
+"""Figure 4: actual vs best time per trace broken down by phase, 1/2/64 sockets.
+
+Two components are combined, exactly as in the paper's methodology:
+
+* *measured* per-phase times from the instrumented trainer running 2 simulated
+  ranks on the real network/dataset (batch_read, forward+backward, optimizer,
+  sync), post-processed into "actual" (slowest rank) and "best" (mean rank)
+  times, and
+* the calibrated cluster model extrapolating the same breakdown to 64 sockets,
+  where load imbalance dominates (the paper reports 5% at 2 sockets growing to
+  19% at 64 sockets).
+"""
+
+import numpy as np
+
+from repro.common.rng import RandomState
+from repro.distributed import CORI, ClusterPerformanceModel, DistributedTrainer
+from repro.ppl.nn import InferenceNetwork
+
+from benchmarks.conftest import BENCH_CONFIG, print_table
+
+
+def test_fig4_phase_breakdown(benchmark, tau_dataset):
+    network = InferenceNetwork(config=BENCH_CONFIG, observe_key="detector")
+    trainer = DistributedTrainer(
+        network,
+        tau_dataset,
+        num_ranks=2,
+        local_minibatch_size=8,
+        learning_rate=1e-3,
+        validation_fraction=0.0,
+    )
+    benchmark.pedantic(lambda: trainer.train(3), iterations=1, rounds=1)
+    report = trainer.report
+
+    # Measured 2-rank breakdown (milliseconds per trace).
+    per_trace = 1000.0 / (report.traces_per_iteration)
+    measured_rows = [
+        ["measured 2-rank (actual)", *(f"{report.phase_means.get(p, 0.0) * per_trace:.2f}" for p in ("batch_read", "forward_backward", "optimizer", "sync"))],
+    ]
+
+    # Modelled breakdown for 1 / 2 / 64 sockets.
+    lengths = [tau_dataset.trace_length_of(i) for i in range(len(tau_dataset))]
+    model = ClusterPerformanceModel(
+        CORI, trace_length_distribution=lengths, local_minibatch_size=8, rng=RandomState(2)
+    )
+    breakdown = model.phase_breakdown([1, 2, 64], iterations=40)
+    rows = list(measured_rows)
+    for entry in breakdown:
+        actual_total = sum(entry.actual.values())
+        best_total = sum(entry.best.values())
+        rows.append(
+            [
+                f"model {entry.sockets}-socket actual",
+                *(f"{entry.actual.get(p, 0.0):.2f}" for p in ("batch_read", "forward", "optimizer", "sync")),
+            ]
+        )
+        rows.append(
+            [
+                f"model {entry.sockets}-socket best",
+                *(f"{entry.best.get(p, 0.0):.2f}" for p in ("batch_read", "forward", "optimizer", "sync")),
+            ]
+        )
+        rows.append([f"model {entry.sockets}-socket imbalance", f"{entry.imbalance_percent:.1f}%", "", "", ""])
+    print_table(
+        "Figure 4: normalised time per trace by phase (ms), actual vs best",
+        ["configuration", "batch_read", "forward(+backward)", "optimizer", "sync"],
+        rows,
+    )
+
+    # Shape assertions: imbalance grows from 1 -> 2 -> 64 sockets, and the
+    # measured actual iteration time is never below the perfectly balanced one.
+    imbalances = [entry.imbalance_percent for entry in breakdown]
+    assert imbalances[0] <= 1e-6
+    assert imbalances[1] < imbalances[2]
+    assert imbalances[2] > 5.0          # at 64 sockets the imbalance is substantial
+    assert report.load_imbalance_percent >= 0.0
+    assert report.best_throughput >= report.mean_throughput

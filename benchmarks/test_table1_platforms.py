@@ -1,0 +1,38 @@
+"""Table 1: Intel Xeon CPU models and codes.
+
+Regenerates the platform registry (model string, code, cores/socket, peak
+single-precision flop rate) that the single-node and cluster performance
+models are built on.
+"""
+
+from repro.distributed import PLATFORMS, SingleNodeModel
+
+from benchmarks.conftest import print_table
+
+
+def test_table1_platform_registry(benchmark):
+    model = benchmark(SingleNodeModel)  # trivial construction; the table itself is static
+    rows = []
+    for code in ("IVB", "HSW", "BDW", "SKL", "CSL"):
+        platform = PLATFORMS[code]
+        rows.append(
+            [
+                platform.model,
+                code,
+                platform.cores_per_socket,
+                f"{platform.clock_ghz:.2f} GHz",
+                f"{platform.peak_sp_gflops_per_socket:.0f}",
+                f"{100 * platform.observed_efficiency:.0f}%",
+            ]
+        )
+    print_table(
+        "Table 1: Intel Xeon CPU models and codes",
+        ["Model", "Code", "Cores/socket", "Clock", "Peak SP Gflop/s", "Observed % peak"],
+        rows,
+    )
+    # Shape assertions: the five paper platforms, with IVB the slowest and the
+    # newer SKL/CSL parts having the highest peak rates.
+    assert set(PLATFORMS) == {"IVB", "HSW", "BDW", "SKL", "CSL"}
+    assert PLATFORMS["IVB"].peak_sp_gflops_per_socket < PLATFORMS["HSW"].peak_sp_gflops_per_socket
+    assert PLATFORMS["SKL"].peak_sp_gflops_per_socket > PLATFORMS["BDW"].peak_sp_gflops_per_socket
+    assert model.throughput("HSW", 1) > 0

@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to the legacy ``setup.py develop``
+path in offline environments where PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

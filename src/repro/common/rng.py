@@ -1,0 +1,137 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the reproduction (simulators, inference engines,
+neural-network initialisation, the distributed trainer) draws its randomness
+through this module so that experiments are reproducible end to end.  The
+paper's workflow depends on reproducibility for comparing trained networks
+without ambiguity (synchronous updates were chosen partly for this reason), so
+we mirror that discipline here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["RandomState", "get_rng", "seed_all", "temporary_seed"]
+
+
+class RandomState:
+    """A named wrapper around :class:`numpy.random.Generator`.
+
+    The wrapper exists so that callers can hold a stable handle while the
+    underlying generator is re-seeded (e.g. by :func:`seed_all` at the start
+    of an experiment, or per-rank in the distributed trainer).
+    """
+
+    def __init__(self, seed: Optional[int] = None, name: str = "default") -> None:
+        self.name = name
+        self._seed = seed
+        self._gen = np.random.default_rng(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The last seed this state was (re-)initialised with."""
+        return self._seed
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator."""
+        return self._gen
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Re-initialise the underlying generator with ``seed``."""
+        self._seed = seed
+        self._gen = np.random.default_rng(seed)
+
+    def spawn(self, key: int) -> "RandomState":
+        """Derive an independent child stream keyed by ``key``.
+
+        Used to give every simulated MPI rank / every worker its own stream
+        that is a pure function of (parent seed, key).  The derivation uses a
+        :class:`numpy.random.SeedSequence` so that different keys give
+        statistically independent streams.
+        """
+        base = self._seed if isinstance(self._seed, int) else hash(self._seed) & 0xFFFFFFFF
+        if base is None:
+            base = 0
+        seq = np.random.SeedSequence(entropy=[int(base) & 0xFFFFFFFF, int(key) & 0xFFFFFFFF])
+        child = RandomState(seed=None, name=f"{self.name}/{key}")
+        child._seed = (base, key)
+        child._gen = np.random.default_rng(seq)
+        return child
+
+    # Convenience passthroughs --------------------------------------------------
+    def uniform(self, low=0.0, high=1.0, size=None):
+        return self._gen.uniform(low, high, size)
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        return self._gen.normal(loc, scale, size)
+
+    def integers(self, low, high=None, size=None):
+        return self._gen.integers(low, high, size)
+
+    def choice(self, a, size=None, replace=True, p=None):
+        return self._gen.choice(a, size=size, replace=replace, p=p)
+
+    def permutation(self, x):
+        return self._gen.permutation(x)
+
+    def random(self, size=None):
+        return self._gen.random(size)
+
+    def standard_normal(self, size=None):
+        return self._gen.standard_normal(size)
+
+    def gamma(self, shape, scale=1.0, size=None):
+        return self._gen.gamma(shape, scale, size)
+
+    def beta(self, a, b, size=None):
+        return self._gen.beta(a, b, size)
+
+    def poisson(self, lam, size=None):
+        return self._gen.poisson(lam, size)
+
+    def exponential(self, scale=1.0, size=None):
+        return self._gen.exponential(scale, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomState(name={self.name!r}, seed={self._seed!r})"
+
+
+_lock = threading.Lock()
+_global_state = RandomState(seed=0, name="global")
+
+
+def get_rng() -> RandomState:
+    """Return the process-global random state."""
+    return _global_state
+
+
+def seed_all(seed: int) -> None:
+    """Seed the process-global random state (and numpy's legacy global RNG)."""
+    with _lock:
+        _global_state.reseed(seed)
+        np.random.seed(seed % (2**32))
+
+
+@contextlib.contextmanager
+def temporary_seed(seed: int) -> Iterator[RandomState]:
+    """Context manager that runs a block under a temporary global seed.
+
+    The previous generator is restored on exit, so test isolation is
+    preserved even when library code uses :func:`get_rng` internally.
+    """
+    with _lock:
+        prev_gen = _global_state._gen
+        prev_seed = _global_state._seed
+        _global_state.reseed(seed)
+    try:
+        yield _global_state
+    finally:
+        with _lock:
+            _global_state._gen = prev_gen
+            _global_state._seed = prev_seed

@@ -1,0 +1,95 @@
+"""Small generic helpers used across the code base."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ensure_list",
+    "flatten_dict",
+    "format_bytes",
+    "format_seconds",
+    "prod",
+    "weighted_quantile",
+]
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1)."""
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+def ensure_list(value) -> List:
+    """Wrap scalars in a list, pass lists/tuples through as a list."""
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def flatten_dict(d: Dict, prefix: str = "", sep: str = ".") -> Dict[str, object]:
+    """Flatten a nested dict into dotted keys (used for config/metric logging)."""
+    out: Dict[str, object] = {}
+    for key, value in d.items():
+        full = f"{prefix}{sep}{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten_dict(value, prefix=full, sep=sep))
+        else:
+            out[full] = value
+    return out
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (e.g. ``1.7 TB`` for the paper's dataset)."""
+    num = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(num) < 1024.0 or unit == "PB":
+            return f"{num:.1f} {unit}"
+        num /= 1024.0
+    return f"{num:.1f} PB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 60:
+        return f"{seconds:.2f} s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.2f} h"
+
+
+def weighted_quantile(values: Sequence[float], quantiles, weights=None) -> np.ndarray:
+    """Weighted quantiles of a 1-D sample.
+
+    Used by :class:`repro.ppl.empirical.Empirical` to summarise weighted
+    posterior samples (importance-sampling / IC output).
+    """
+    values = np.asarray(values, dtype=float)
+    quantiles = np.atleast_1d(np.asarray(quantiles, dtype=float))
+    if np.any((quantiles < 0) | (quantiles > 1)):
+        raise ValueError("quantiles must be in [0, 1]")
+    if weights is None:
+        weights = np.ones_like(values)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ValueError("values and weights must have the same shape")
+    if values.size == 0:
+        raise ValueError("cannot compute quantiles of an empty sample")
+    sorter = np.argsort(values)
+    values = values[sorter]
+    weights = weights[sorter]
+    cum_weights = np.cumsum(weights) - 0.5 * weights
+    total = np.sum(weights)
+    if total <= 0 or not math.isfinite(total):
+        raise ValueError("weights must sum to a positive finite value")
+    cum_weights /= total
+    return np.interp(quantiles, cum_weights, values)

@@ -1,0 +1,33 @@
+"""Offline trace datasets, I/O, sorting, batching and distributed sampling."""
+
+from repro.data.shelf import ShardStore
+from repro.data.dataset import InMemoryTraceDataset, TraceDataset, generate_dataset
+from repro.data.sorting import (
+    parallel_sort_indices,
+    regroup_dataset,
+    sorted_indices_by_trace_type,
+    sortedness_fraction,
+)
+from repro.data.batching import (
+    dynamic_token_batches,
+    effective_minibatch_size,
+    split_into_sub_minibatches,
+    sub_minibatch_count,
+)
+from repro.data.sampler import DistributedTraceSampler
+
+__all__ = [
+    "ShardStore",
+    "TraceDataset",
+    "InMemoryTraceDataset",
+    "generate_dataset",
+    "sorted_indices_by_trace_type",
+    "parallel_sort_indices",
+    "regroup_dataset",
+    "sortedness_fraction",
+    "split_into_sub_minibatches",
+    "sub_minibatch_count",
+    "effective_minibatch_size",
+    "dynamic_token_batches",
+    "DistributedTraceSampler",
+]

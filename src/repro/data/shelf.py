@@ -1,0 +1,143 @@
+"""Shard store: file-backed storage of pruned traces with handle caching.
+
+The paper stores its 15M-trace / 1.7 TB dataset with Python ``shelve`` over
+gdbm, 100k traces per file, and reports two I/O-layer optimisations that this
+module reproduces in miniature:
+
+* grouping many traces per file (750 files of 20k -> 150 files of 100k) so
+  that sequential reads hit contiguous file regions, and
+* caching file open/close handles so that repeated metadata operations (and
+  concurrent access from different ranks to the same file) are cheap.
+
+Each shard file holds a pickled list of pruned trace records; an index maps a
+global trace id to ``(shard, position)``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ShardStore"]
+
+
+class ShardStore:
+    """Append-oriented store of pickled records split across shard files."""
+
+    INDEX_FILE = "index.pkl"
+
+    def __init__(self, directory: str, records_per_shard: int = 100, cache_size: int = 8) -> None:
+        if records_per_shard <= 0:
+            raise ValueError("records_per_shard must be positive")
+        self.directory = directory
+        self.records_per_shard = records_per_shard
+        self.cache_size = cache_size
+        os.makedirs(directory, exist_ok=True)
+        self._index: List[Tuple[int, int]] = []     # global id -> (shard id, position)
+        self._metadata: Dict[str, Any] = {}
+        self._pending: List[Any] = []
+        self._num_shards = 0
+        self._cache: "OrderedDict[int, List[Any]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        index_path = os.path.join(directory, self.INDEX_FILE)
+        if os.path.exists(index_path):
+            self._load_index()
+
+    # ----------------------------------------------------------------- writing
+    def append(self, record: Any) -> int:
+        """Append one record; returns its global id."""
+        global_id = len(self._index)
+        shard_id = self._num_shards
+        position = len(self._pending)
+        self._pending.append(record)
+        self._index.append((shard_id, position))
+        if len(self._pending) >= self.records_per_shard:
+            self._flush_shard()
+        return global_id
+
+    def extend(self, records: Iterable[Any]) -> None:
+        for record in records:
+            self.append(record)
+
+    def _shard_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard_{shard_id:05d}.pkl")
+
+    def _flush_shard(self) -> None:
+        if not self._pending:
+            return
+        with open(self._shard_path(self._num_shards), "wb") as handle:
+            pickle.dump(self._pending, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._num_shards += 1
+        self._pending = []
+
+    def set_metadata(self, key: str, value: Any) -> None:
+        self._metadata[key] = value
+
+    def get_metadata(self, key: str, default: Any = None) -> Any:
+        return self._metadata.get(key, default)
+
+    def flush(self) -> None:
+        """Flush pending records and persist the index + metadata."""
+        self._flush_shard()
+        with open(os.path.join(self.directory, self.INDEX_FILE), "wb") as handle:
+            pickle.dump(
+                {
+                    "index": self._index,
+                    "metadata": self._metadata,
+                    "num_shards": self._num_shards,
+                    "records_per_shard": self.records_per_shard,
+                },
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
+    def _load_index(self) -> None:
+        with open(os.path.join(self.directory, self.INDEX_FILE), "rb") as handle:
+            payload = pickle.load(handle)
+        self._index = payload["index"]
+        self._metadata = payload["metadata"]
+        self._num_shards = payload["num_shards"]
+        self.records_per_shard = payload["records_per_shard"]
+
+    # ----------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards + (1 if self._pending else 0)
+
+    def _load_shard(self, shard_id: int) -> List[Any]:
+        cached = self._cache.get(shard_id)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(shard_id)
+            return cached
+        self.cache_misses += 1
+        if shard_id == self._num_shards and self._pending:
+            records = self._pending
+        else:
+            with open(self._shard_path(shard_id), "rb") as handle:
+                records = pickle.load(handle)
+        self._cache[shard_id] = records
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return records
+
+    def __getitem__(self, global_id: int) -> Any:
+        shard_id, position = self._index[global_id]
+        return self._load_shard(shard_id)[position]
+
+    def get_many(self, ids: Iterable[int]) -> List[Any]:
+        return [self[i] for i in ids]
+
+    def shard_of(self, global_id: int) -> int:
+        return self._index[global_id][0]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0

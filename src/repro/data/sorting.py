@@ -1,0 +1,106 @@
+"""Trace sorting and file re-grouping (Section 4.4.3).
+
+The paper's I/O optimisation has two parts:
+
+* a **parallel trace sorting** pass that pre-sorts the 15M traces by trace
+  type, so that minibatch-sized chunks of the sorted order contain (almost
+  always) a single trace type, enabling single-forward-pass sub-minibatches
+  and sequential file access, and
+* **re-grouping** small trace files into larger ones (750 files of 20k traces
+  -> 150 files of 100k traces).
+
+Together these reduced I/O from >50% of runtime to <5% and improved training
+speed by up to 50x via larger effective minibatches.  The functions here
+implement both passes for the shard-store datasets of this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["sorted_indices_by_trace_type", "parallel_sort_indices", "regroup_dataset", "sortedness_fraction"]
+
+
+def sorted_indices_by_trace_type(dataset) -> List[int]:
+    """Return dataset indices ordered so that equal trace types are contiguous.
+
+    The sort key is ``(trace_type, trace_length, index)``: grouping by type is
+    what enables single-type minibatch chunks; the secondary length key keeps
+    similarly-sized traces together, which also helps load balance.
+    """
+    keys = [
+        (dataset.trace_type_of(i), dataset.trace_length_of(i), i) for i in range(len(dataset))
+    ]
+    keys.sort()
+    return [k[2] for k in keys]
+
+
+def parallel_sort_indices(dataset, num_workers: int = 4) -> List[int]:
+    """Chunked sort + k-way merge, mirroring the paper's parallel sorting pass.
+
+    Each "worker" sorts a contiguous slice of the dataset independently; the
+    sorted runs are then merged.  The result is identical to
+    :func:`sorted_indices_by_trace_type` (the tests assert this), but the
+    structure mirrors how the sort is distributed across ranks.
+    """
+    import heapq
+
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    total = len(dataset)
+    if total == 0:
+        return []
+    chunk = (total + num_workers - 1) // num_workers
+    runs: List[List[Tuple[str, int, int]]] = []
+    for worker in range(num_workers):
+        start = worker * chunk
+        stop = min(start + chunk, total)
+        if start >= stop:
+            continue
+        keys = [
+            (dataset.trace_type_of(i), dataset.trace_length_of(i), i) for i in range(start, stop)
+        ]
+        keys.sort()
+        runs.append(keys)
+    merged = list(heapq.merge(*runs))
+    return [k[2] for k in merged]
+
+
+def regroup_dataset(dataset, directory: str, records_per_shard: int = 100, order: Optional[Sequence[int]] = None):
+    """Write a new on-disk dataset with traces re-ordered and re-grouped.
+
+    ``order`` defaults to the trace-type sorted order; ``records_per_shard``
+    controls the grouping into larger files.  Returns the new
+    :class:`repro.data.dataset.TraceDataset`.
+    """
+    from repro.data.dataset import TraceDataset
+
+    order = list(order) if order is not None else sorted_indices_by_trace_type(dataset)
+    regrouped = TraceDataset(directory, records_per_shard=records_per_shard)
+    for index in order:
+        regrouped.add_trace(dataset[index])
+    regrouped.flush()
+    return regrouped
+
+
+def sortedness_fraction(trace_types: Sequence[str], chunk_size: int) -> float:
+    """Fraction of ``chunk_size`` chunks that contain a single trace type.
+
+    This is the quantity the sorting pass maximises: the higher it is, the
+    fewer sub-minibatches a minibatch splits into and the larger the effective
+    minibatch size (Section 4.4.1).
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    total_chunks = 0
+    single_type = 0
+    for start in range(0, len(trace_types), chunk_size):
+        chunk = trace_types[start : start + chunk_size]
+        if not chunk:
+            continue
+        total_chunks += 1
+        if len(set(chunk)) == 1:
+            single_type += 1
+    return single_type / total_chunks if total_chunks else 0.0

@@ -1,0 +1,56 @@
+"""Distributed training: communicators, allreduce, trainer, performance model."""
+
+from repro.distributed.backend import (
+    Communicator,
+    SingleProcessCommunicator,
+    ThreadCommunicator,
+    ThreadGroup,
+)
+from repro.distributed.allreduce import (
+    CommunicationStats,
+    average_gradients,
+    dense_allreduce,
+    fused_sparse_allreduce,
+    sparse_allreduce,
+)
+from repro.distributed.performance_model import (
+    CORI,
+    EDISON,
+    PAPER_TABLE2,
+    PLATFORMS,
+    ClusterPerformanceModel,
+    ClusterSpec,
+    CpuPlatform,
+    Interconnect,
+    SingleNodeModel,
+    WeakScalingPoint,
+)
+from repro.distributed.trainer import DistributedTrainer, TrainingReport
+from repro.distributed.load_balance import SchemeEvaluation, compare_schemes, evaluate_scheme
+
+__all__ = [
+    "Communicator",
+    "SingleProcessCommunicator",
+    "ThreadCommunicator",
+    "ThreadGroup",
+    "CommunicationStats",
+    "average_gradients",
+    "dense_allreduce",
+    "sparse_allreduce",
+    "fused_sparse_allreduce",
+    "CORI",
+    "EDISON",
+    "PAPER_TABLE2",
+    "PLATFORMS",
+    "ClusterPerformanceModel",
+    "ClusterSpec",
+    "CpuPlatform",
+    "Interconnect",
+    "SingleNodeModel",
+    "WeakScalingPoint",
+    "DistributedTrainer",
+    "TrainingReport",
+    "SchemeEvaluation",
+    "compare_schemes",
+    "evaluate_scheme",
+]

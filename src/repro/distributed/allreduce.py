@@ -1,0 +1,207 @@
+"""Gradient allreduce strategies (Section 4.4.4).
+
+In Etalumis the set of non-null gradient tensors differs per rank (each rank's
+minibatch touches a different subset of the address-specific layers), so a
+naive allreduce over every parameter is wasteful.  The paper's strategy, which
+this module implements and quantifies, is:
+
+1. allreduce a small **presence map** so every rank knows the union of tensors
+   that have gradients anywhere,
+2. reduce only tensors in that union, filling local nulls with zeros
+   (the reported 4x improvement in allreduce time), and
+3. **fuse** small tensors into a contiguous buffer so that one collective call
+   is issued per bucket instead of one per tensor, eliminating per-call
+   latency and making the communication bandwidth-bound.
+
+All three strategies return numerically identical averaged gradients; they
+differ in the :class:`CommunicationStats` they produce (number of collective
+calls, bytes moved, and modelled wall-clock time under a latency/bandwidth
+model), which is what the ablation benchmark compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CommunicationStats", "dense_allreduce", "sparse_allreduce", "fused_sparse_allreduce", "average_gradients"]
+
+#: bytes per element (single precision on the wire, as in the paper's training)
+_BYTES_PER_ELEMENT = 4
+
+
+@dataclass
+class CommunicationStats:
+    """Accounting of one gradient-synchronisation step."""
+
+    num_calls: int = 0
+    elements: int = 0
+    latency_s: float = 50e-6           # per-call latency of the interconnect
+    bandwidth_bytes_per_s: float = 8e9  # effective allreduce bandwidth
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * _BYTES_PER_ELEMENT
+
+    @property
+    def modeled_time(self) -> float:
+        """Latency + bandwidth model of the allreduce wall-clock time."""
+        return self.num_calls * self.latency_s + self.bytes / self.bandwidth_bytes_per_s
+
+    def add_call(self, elements: int) -> None:
+        self.num_calls += 1
+        self.elements += int(elements)
+
+
+def _union_of_names(per_rank_gradients: Sequence[Dict[str, np.ndarray]]) -> List[str]:
+    names: List[str] = []
+    seen = set()
+    for gradients in per_rank_gradients:
+        for name in gradients:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    return sorted(names)
+
+
+def _shapes(per_rank_gradients: Sequence[Dict[str, np.ndarray]], names: Sequence[str]) -> Dict[str, tuple]:
+    shapes: Dict[str, tuple] = {}
+    for name in names:
+        for gradients in per_rank_gradients:
+            if name in gradients:
+                shapes[name] = np.asarray(gradients[name]).shape
+                break
+    return shapes
+
+
+def dense_allreduce(
+    per_rank_gradients: Sequence[Dict[str, np.ndarray]],
+    all_parameter_names: Sequence[str],
+    parameter_shapes: Dict[str, tuple],
+    stats: Optional[CommunicationStats] = None,
+) -> Dict[str, np.ndarray]:
+    """Baseline: one allreduce per parameter over the *full* parameter set.
+
+    Every rank contributes every tensor (zeros where it has no gradient), and
+    one collective call is issued per tensor — the list-comprehension-over-
+    ``all_reduce`` pattern the paper starts from.
+    """
+    stats = stats if stats is not None else CommunicationStats()
+    num_ranks = len(per_rank_gradients)
+    averaged: Dict[str, np.ndarray] = {}
+    for name in all_parameter_names:
+        shape = parameter_shapes[name]
+        total = np.zeros(shape, dtype=float)
+        for gradients in per_rank_gradients:
+            grad = gradients.get(name)
+            if grad is not None:
+                total += grad
+        stats.add_call(int(np.prod(shape)))
+        averaged[name] = total / num_ranks
+    return averaged
+
+
+def sparse_allreduce(
+    per_rank_gradients: Sequence[Dict[str, np.ndarray]],
+    all_parameter_names: Sequence[str],
+    parameter_shapes: Dict[str, tuple],
+    stats: Optional[CommunicationStats] = None,
+) -> Dict[str, np.ndarray]:
+    """Reduce only the union of non-null gradients (the paper's 4x improvement).
+
+    A presence-map allreduce (one element per parameter) establishes the union
+    of tensors present on any rank; only those are then reduced, one call per
+    tensor.
+    """
+    stats = stats if stats is not None else CommunicationStats()
+    num_ranks = len(per_rank_gradients)
+    # Presence map: one flag per parameter, reduced across ranks.
+    stats.add_call(len(all_parameter_names))
+    present = _union_of_names(per_rank_gradients)
+    averaged: Dict[str, np.ndarray] = {}
+    for name in present:
+        shape = parameter_shapes.get(name, np.asarray(next(g[name] for g in per_rank_gradients if name in g)).shape)
+        total = np.zeros(shape, dtype=float)
+        for gradients in per_rank_gradients:
+            grad = gradients.get(name)
+            if grad is not None:
+                total += grad
+        stats.add_call(int(np.prod(shape)))
+        averaged[name] = total / num_ranks
+    return averaged
+
+
+def fused_sparse_allreduce(
+    per_rank_gradients: Sequence[Dict[str, np.ndarray]],
+    all_parameter_names: Sequence[str],
+    parameter_shapes: Dict[str, tuple],
+    bucket_elements: int = 1_000_000,
+    stats: Optional[CommunicationStats] = None,
+) -> Dict[str, np.ndarray]:
+    """Sparse reduction with tensor fusion: concatenate small tensors into buffers.
+
+    Tensors in the union are packed into contiguous buckets of at most
+    ``bucket_elements`` elements; one collective call is issued per bucket and
+    the reduced buffer is scattered back into the named gradients.
+    """
+    stats = stats if stats is not None else CommunicationStats()
+    num_ranks = len(per_rank_gradients)
+    stats.add_call(len(all_parameter_names))  # presence map
+    present = _union_of_names(per_rank_gradients)
+    shapes = {name: parameter_shapes.get(name) for name in present}
+    for name in present:
+        if shapes[name] is None:
+            shapes[name] = np.asarray(next(g[name] for g in per_rank_gradients if name in g)).shape
+
+    # Build buckets of names.
+    buckets: List[List[str]] = []
+    current: List[str] = []
+    current_elements = 0
+    for name in present:
+        elements = int(np.prod(shapes[name]))
+        if current and current_elements + elements > bucket_elements:
+            buckets.append(current)
+            current = []
+            current_elements = 0
+        current.append(name)
+        current_elements += elements
+    if current:
+        buckets.append(current)
+
+    averaged: Dict[str, np.ndarray] = {}
+    for bucket in buckets:
+        sizes = [int(np.prod(shapes[name])) for name in bucket]
+        buffer_total = np.zeros(sum(sizes), dtype=float)
+        for gradients in per_rank_gradients:
+            offset = 0
+            for name, size in zip(bucket, sizes):
+                grad = gradients.get(name)
+                if grad is not None:
+                    buffer_total[offset : offset + size] += np.asarray(grad, dtype=float).reshape(-1)
+                offset += size
+        stats.add_call(sum(sizes))
+        buffer_total /= num_ranks
+        offset = 0
+        for name, size in zip(bucket, sizes):
+            averaged[name] = buffer_total[offset : offset + size].reshape(shapes[name]).copy()
+            offset += size
+    return averaged
+
+
+def average_gradients(
+    per_rank_gradients: Sequence[Dict[str, np.ndarray]],
+    all_parameter_names: Sequence[str],
+    parameter_shapes: Dict[str, tuple],
+    strategy: str = "fused_sparse",
+    stats: Optional[CommunicationStats] = None,
+) -> Dict[str, np.ndarray]:
+    """Dispatch to the requested allreduce strategy."""
+    if strategy == "dense":
+        return dense_allreduce(per_rank_gradients, all_parameter_names, parameter_shapes, stats)
+    if strategy == "sparse":
+        return sparse_allreduce(per_rank_gradients, all_parameter_names, parameter_shapes, stats)
+    if strategy == "fused_sparse":
+        return fused_sparse_allreduce(per_rank_gradients, all_parameter_names, parameter_shapes, stats=stats)
+    raise ValueError(f"unknown allreduce strategy {strategy!r}")

@@ -1,0 +1,203 @@
+"""Communicator abstraction: the torch.distributed / MPI stand-in.
+
+The paper trains with PyTorch's MPI backend (``torch.distributed``) on up to
+1,024 nodes.  MPI is not available in this environment, so the reproduction
+defines a small :class:`Communicator` interface with the collective
+operations the training stack needs (allreduce, broadcast, barrier, gather)
+and two implementations:
+
+* :class:`SingleProcessCommunicator` — size-1 trivial communicator,
+* :class:`ThreadGroup` / :class:`ThreadCommunicator` — a real multi-worker
+  communicator backed by threads and a barrier, which performs genuine
+  synchronous allreduce semantics inside one process (used by tests to verify
+  the collective algebra; the trainer's large-scale behaviour is modelled by
+  :mod:`repro.distributed.performance_model`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Communicator", "SingleProcessCommunicator", "ThreadGroup", "ThreadCommunicator"]
+
+
+class Communicator:
+    """Interface of the collective operations used by the trainer."""
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        raise NotImplementedError
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        raise NotImplementedError
+
+    def gather(self, value, root: int = 0) -> Optional[List]:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+
+class SingleProcessCommunicator(Communicator):
+    """The trivial size-1 communicator (single-rank training)."""
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        return np.array(array, copy=True)
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        return np.array(array, copy=True)
+
+    def gather(self, value, root: int = 0) -> Optional[List]:
+        return [value]
+
+    def barrier(self) -> None:
+        pass
+
+
+class ThreadGroup:
+    """Shared state for a group of :class:`ThreadCommunicator` instances."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("group size must be >= 1")
+        self.size = size
+        self._barrier = threading.Barrier(size)
+        self._lock = threading.Lock()
+        self._contributions: Dict[int, Dict[int, np.ndarray]] = {}
+        self._results: Dict[int, np.ndarray] = {}
+        self._gathers: Dict[int, Dict[int, object]] = {}
+        self._broadcasts: Dict[int, np.ndarray] = {}
+        self._op_counter = 0
+
+    def communicator(self, rank: int) -> "ThreadCommunicator":
+        return ThreadCommunicator(self, rank)
+
+    def communicators(self) -> List["ThreadCommunicator"]:
+        return [self.communicator(rank) for rank in range(self.size)]
+
+    def run(self, fn: Callable[["ThreadCommunicator"], object]) -> List[object]:
+        """Run ``fn(comm)`` on every rank in its own thread; return per-rank results."""
+        results: List[object] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(self.communicator(rank))
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                errors[rank] = exc
+                try:
+                    self._barrier.abort()
+                except Exception:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(rank,)) for rank in range(self.size)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
+
+
+class ThreadCommunicator(Communicator):
+    """Rank-local handle onto a :class:`ThreadGroup`."""
+
+    def __init__(self, group: ThreadGroup, rank: int) -> None:
+        if not 0 <= rank < group.size:
+            raise ValueError("rank out of range")
+        self._group = group
+        self._rank = rank
+        self._op_id = 0
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    def _next_op(self) -> int:
+        self._op_id += 1
+        return self._op_id
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        if op not in ("sum", "mean", "max"):
+            raise ValueError("op must be 'sum', 'mean' or 'max'")
+        group = self._group
+        op_id = self._next_op()
+        array = np.asarray(array, dtype=float)
+        with group._lock:
+            group._contributions.setdefault(op_id, {})[self._rank] = array
+        group._barrier.wait()
+        with group._lock:
+            if op_id not in group._results:
+                stacked = np.stack([group._contributions[op_id][r] for r in range(group.size)])
+                if op == "sum":
+                    reduced = stacked.sum(axis=0)
+                elif op == "mean":
+                    reduced = stacked.mean(axis=0)
+                else:
+                    reduced = stacked.max(axis=0)
+                group._results[op_id] = reduced
+        group._barrier.wait()
+        result = np.array(group._results[op_id], copy=True)
+        group._barrier.wait()
+        with group._lock:
+            group._contributions.pop(op_id, None)
+            group._results.pop(op_id, None)
+        return result
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        group = self._group
+        op_id = self._next_op()
+        if self._rank == root:
+            with group._lock:
+                group._broadcasts[op_id] = np.asarray(array, dtype=float).copy()
+        group._barrier.wait()
+        result = np.array(group._broadcasts[op_id], copy=True)
+        group._barrier.wait()
+        if self._rank == root:
+            with group._lock:
+                group._broadcasts.pop(op_id, None)
+        return result
+
+    def gather(self, value, root: int = 0) -> Optional[List]:
+        group = self._group
+        op_id = self._next_op()
+        with group._lock:
+            group._gathers.setdefault(op_id, {})[self._rank] = value
+        group._barrier.wait()
+        result = None
+        if self._rank == root:
+            with group._lock:
+                collected = group._gathers[op_id]
+                result = [collected[r] for r in range(group.size)]
+        group._barrier.wait()
+        if self._rank == root:
+            with group._lock:
+                group._gathers.pop(op_id, None)
+        return result
+
+    def barrier(self) -> None:
+        self._group._barrier.wait()

@@ -1,0 +1,116 @@
+"""Base class for probability distributions.
+
+PPX defines language-agnostic descriptions of common probability
+distributions so that the simulator side and the PPL side agree on priors and
+likelihoods (Section 4.1).  Every distribution here therefore supports:
+
+* ``sample(rng, size)`` and ``log_prob(value)`` with numpy semantics,
+* ``to_dict()`` / ``Distribution.from_dict()`` for the PPX wire format,
+* simple moments (``mean``, ``variance``) used by posterior summaries.
+
+Differentiable *proposal* distributions (whose parameters are autograd
+tensors produced by the inference network) live in
+:mod:`repro.ppl.nn.proposals`; the classes here are plain numpy and are what
+the simulator, the prior, and the MCMC engines use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+import numpy as np
+
+from repro.common.rng import RandomState, get_rng
+
+__all__ = ["Distribution", "register_distribution", "distribution_from_dict"]
+
+_REGISTRY: Dict[str, Type["Distribution"]] = {}
+
+
+def register_distribution(cls: Type["Distribution"]) -> Type["Distribution"]:
+    """Class decorator adding the distribution to the PPX name registry."""
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def distribution_from_dict(payload: Dict[str, Any]) -> "Distribution":
+    """Reconstruct a distribution from its PPX dictionary representation."""
+    name = payload.get("type")
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown distribution type {name!r}")
+    params = {k: v for k, v in payload.items() if k != "type"}
+    return _REGISTRY[name].from_params(**params)
+
+
+class Distribution:
+    """Abstract base class for numpy-backed distributions."""
+
+    #: event dimensionality: 0 for scalars, 1 for vectors, ...
+    event_dim: int = 0
+    #: whether the support is a discrete set
+    discrete: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # ------------------------------------------------------------------ api
+    def sample(self, rng: Optional[RandomState] = None, size=None):
+        """Draw a sample (or ``size`` samples) using the given random state."""
+        raise NotImplementedError
+
+    def log_prob(self, value) -> np.ndarray:
+        """Elementwise log density / log mass at ``value``."""
+        raise NotImplementedError
+
+    def prob(self, value) -> np.ndarray:
+        return np.exp(self.log_prob(value))
+
+    @property
+    def mean(self):
+        raise NotImplementedError
+
+    @property
+    def variance(self):
+        raise NotImplementedError
+
+    @property
+    def stddev(self):
+        return np.sqrt(self.variance)
+
+    # ------------------------------------------------------------ PPX format
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to the PPX dictionary representation."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_params(cls, **params) -> "Distribution":
+        """Construct from the parameters stored by :meth:`to_dict`."""
+        return cls(**params)  # type: ignore[call-arg]
+
+    # --------------------------------------------------------------- helpers
+    def _rng(self, rng: Optional[RandomState]) -> np.random.Generator:
+        return (rng or get_rng()).generator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = {k: v for k, v in self.to_dict().items() if k != "type"}
+        inner = ", ".join(f"{k}={v}" for k, v in params.items())
+        return f"{self.name}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        a, b = self.to_dict(), other.to_dict()
+        if a.keys() != b.keys():
+            return False
+        for key in a:
+            va, vb = a[key], b[key]
+            if isinstance(va, (list, tuple, np.ndarray)):
+                if not np.allclose(np.asarray(va, dtype=float), np.asarray(vb, dtype=float)):
+                    return False
+            elif va != vb:
+                return False
+        return True
+
+    def __hash__(self) -> int:  # allow use in sets keyed by repr
+        return hash(repr(self))

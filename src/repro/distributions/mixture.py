@@ -1,0 +1,86 @@
+"""Finite mixture distributions.
+
+The IC proposal for a continuous latent variable is a mixture of truncated
+normals; :class:`Mixture` provides the generic numpy-side machinery (sampling,
+stable log-density via logsumexp, moments).  The differentiable counterpart
+used during NN training lives in :mod:`repro.ppl.nn.proposals`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.common.rng import RandomState
+from repro.distributions.distribution import (
+    Distribution,
+    distribution_from_dict,
+    register_distribution,
+)
+
+__all__ = ["Mixture"]
+
+
+@register_distribution
+class Mixture(Distribution):
+    """Mixture of component distributions with given weights."""
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]) -> None:
+        if len(components) == 0:
+            raise ValueError("a mixture needs at least one component")
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have the same length")
+        weights_arr = np.asarray(weights, dtype=float)
+        if np.any(weights_arr < 0):
+            raise ValueError("mixture weights must be non-negative")
+        total = weights_arr.sum()
+        if total <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = weights_arr / total
+        self._log_weights = np.log(np.clip(self.weights, 1e-300, None))
+        self.discrete = all(c.discrete for c in self.components)
+
+    def sample(self, rng: Optional[RandomState] = None, size=None):
+        generator = self._rng(rng)
+        if size is None:
+            index = int(generator.choice(len(self.components), p=self.weights))
+            return self.components[index].sample(rng)
+        size_int = int(np.prod(size)) if not np.isscalar(size) else int(size)
+        indices = generator.choice(len(self.components), size=size_int, p=self.weights)
+        draws = np.array([self.components[i].sample(rng) for i in indices], dtype=float)
+        return draws.reshape(size)
+
+    def log_prob(self, value) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        log_terms = np.stack(
+            [lw + np.asarray(c.log_prob(value), dtype=float) for lw, c in zip(self._log_weights, self.components)],
+            axis=0,
+        )
+        return logsumexp(log_terms, axis=0)
+
+    @property
+    def mean(self):
+        return float(np.sum([w * np.asarray(c.mean) for w, c in zip(self.weights, self.components)]))
+
+    @property
+    def variance(self):
+        mean = self.mean
+        second_moment = np.sum(
+            [w * (np.asarray(c.variance) + np.asarray(c.mean) ** 2) for w, c in zip(self.weights, self.components)]
+        )
+        return float(second_moment - mean**2)
+
+    def to_dict(self):
+        return {
+            "type": "Mixture",
+            "weights": self.weights.tolist(),
+            "components": [c.to_dict() for c in self.components],
+        }
+
+    @classmethod
+    def from_params(cls, **params) -> "Mixture":
+        components = [distribution_from_dict(c) for c in params["components"]]
+        return cls(components, params["weights"])

@@ -1,0 +1,97 @@
+"""Truncated normal distribution.
+
+The paper's continuous proposal layers output a *mixture of ten truncated
+normal* distributions for latent variables with uniform continuous priors
+(Section 4.3, citing Bishop's mixture density networks).  The truncation keeps
+proposals inside the prior support so that importance weights stay finite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy.special import log_ndtr, ndtr, ndtri
+
+from repro.common.rng import RandomState
+from repro.distributions.distribution import Distribution, register_distribution
+
+__all__ = ["TruncatedNormal"]
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+@register_distribution
+class TruncatedNormal(Distribution):
+    """Normal(loc, scale) truncated to the interval [low, high]."""
+
+    def __init__(self, loc: float, scale: float, low: float, high: float) -> None:
+        self.loc = float(loc)
+        self.scale = float(scale)
+        self.low = float(low)
+        self.high = float(high)
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if not self.high > self.low:
+            raise ValueError("high must be greater than low")
+        self._alpha = (self.low - self.loc) / self.scale
+        self._beta = (self.high - self.loc) / self.scale
+        # Normalisation constant Z = Phi(beta) - Phi(alpha).  When the whole
+        # interval sits in one tail, the naive difference of two values close
+        # to 1 loses precision catastrophically, so compute it in whichever
+        # tail keeps both CDF values small.
+        if self._alpha >= 0:
+            self._z = float(ndtr(-self._alpha) - ndtr(-self._beta))
+        else:
+            self._z = float(ndtr(self._beta) - ndtr(self._alpha))
+        if self._z <= 0:
+            # Both bounds so deep in a tail that even the stable form
+            # underflows: fall back to a tiny mass to keep log_prob finite.
+            self._z = 1e-300
+        self._log_z = float(np.log(self._z))
+
+    def sample(self, rng: Optional[RandomState] = None, size=None):
+        # Inverse-CDF sampling keeps samples exactly inside [low, high]; the
+        # quantile is evaluated in the tail where the CDF values are small so
+        # far-tail truncations still sample correctly.
+        generator = self._rng(rng)
+        u = generator.uniform(0.0, 1.0, size=size)
+        if self._alpha >= 0:
+            sf_low = ndtr(-self._alpha)
+            value = self.loc - self.scale * ndtri(np.clip(sf_low - u * self._z, 1e-300, 1.0))
+        else:
+            cdf_low = ndtr(self._alpha)
+            value = self.loc + self.scale * ndtri(np.clip(cdf_low + u * self._z, 1e-300, 1.0))
+        return np.clip(value, self.low, self.high)
+
+    def log_prob(self, value) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        z = (value - self.loc) / self.scale
+        log_pdf = -0.5 * z * z - math.log(self.scale) - _LOG_SQRT_2PI - self._log_z
+        inside = (value >= self.low) & (value <= self.high)
+        return np.where(inside, log_pdf, -np.inf)
+
+    @property
+    def mean(self):
+        phi_a = math.exp(-0.5 * self._alpha**2) / math.sqrt(2 * math.pi)
+        phi_b = math.exp(-0.5 * self._beta**2) / math.sqrt(2 * math.pi)
+        return self.loc + self.scale * (phi_a - phi_b) / self._z
+
+    @property
+    def variance(self):
+        phi_a = math.exp(-0.5 * self._alpha**2) / math.sqrt(2 * math.pi)
+        phi_b = math.exp(-0.5 * self._beta**2) / math.sqrt(2 * math.pi)
+        a_term = self._alpha * phi_a if math.isfinite(self._alpha) else 0.0
+        b_term = self._beta * phi_b if math.isfinite(self._beta) else 0.0
+        correction = (a_term - b_term) / self._z - ((phi_a - phi_b) / self._z) ** 2
+        return self.scale**2 * (1.0 + correction)
+
+    def to_dict(self):
+        return {
+            "type": "TruncatedNormal",
+            "loc": self.loc,
+            "scale": self.scale,
+            "low": self.low,
+            "high": self.high,
+        }

@@ -1,0 +1,43 @@
+"""Continuous uniform distribution."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.rng import RandomState
+from repro.distributions.distribution import Distribution, register_distribution
+
+__all__ = ["Uniform"]
+
+
+@register_distribution
+class Uniform(Distribution):
+    """Uniform(low, high) on the interval [low, high)."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        self.low = float(low)
+        self.high = float(high)
+        if not self.high > self.low:
+            raise ValueError("high must be greater than low")
+
+    def sample(self, rng: Optional[RandomState] = None, size=None):
+        return self._rng(rng).uniform(self.low, self.high, size=size)
+
+    def log_prob(self, value) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        inside = (value >= self.low) & (value <= self.high)
+        log_density = -np.log(self.high - self.low)
+        return np.where(inside, log_density, -np.inf)
+
+    @property
+    def mean(self):
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self):
+        return (self.high - self.low) ** 2 / 12.0
+
+    def to_dict(self):
+        return {"type": "Uniform", "low": self.low, "high": self.high}

@@ -1,0 +1,43 @@
+"""The pyprob-like probabilistic programming layer (the paper's core contribution).
+
+Public API highlights:
+
+* :func:`sample` / :func:`observe` — the probabilistic-program primitives,
+* :class:`Model`, :class:`FunctionModel`, :class:`RemoteModel` — local and
+  PPX-controlled models,
+* :class:`Empirical` — weighted posterior representations,
+* :mod:`repro.ppl.inference` — importance sampling, RMH/LMH and IC engines,
+* :mod:`repro.ppl.nn` — the dynamic 3DCNN–LSTM inference network.
+"""
+
+from repro.ppl.state import (
+    Controller,
+    ExecutionState,
+    PriorController,
+    ProposalController,
+    ReplayController,
+    current_state,
+    observe,
+    sample,
+)
+from repro.ppl.model import FunctionModel, Model, RemoteModel
+from repro.ppl.empirical import Empirical
+from repro.ppl import inference
+from repro.ppl import nn
+
+__all__ = [
+    "sample",
+    "observe",
+    "current_state",
+    "Controller",
+    "ExecutionState",
+    "PriorController",
+    "ProposalController",
+    "ReplayController",
+    "Model",
+    "FunctionModel",
+    "RemoteModel",
+    "Empirical",
+    "inference",
+    "nn",
+]

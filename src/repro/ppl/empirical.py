@@ -1,0 +1,156 @@
+"""Empirical distributions over execution traces.
+
+Every inference engine returns its posterior approximation as an
+:class:`Empirical`: a collection of traces (or derived values) with associated
+log-weights.  RMH produces unweighted (equally-weighted) samples; IS and IC
+produce importance-weighted samples.  The class provides the summaries used by
+Figure 8 (histograms of selected latent variables), the effective-sample-size
+measure discussed in Section 6.4, and resampling utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.common.rng import RandomState, get_rng
+from repro.common.utils import weighted_quantile
+from repro.trace.trace import Trace
+
+__all__ = ["Empirical"]
+
+
+class Empirical:
+    """A weighted empirical distribution over arbitrary values (usually traces)."""
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        log_weights: Optional[Sequence[float]] = None,
+        name: str = "posterior",
+    ) -> None:
+        self.values: List[Any] = list(values)
+        if log_weights is None:
+            log_weights_arr = np.zeros(len(self.values))
+        else:
+            log_weights_arr = np.asarray(log_weights, dtype=float)
+        if len(self.values) != log_weights_arr.shape[0]:
+            raise ValueError("values and log_weights must have the same length")
+        if len(self.values) == 0:
+            raise ValueError("an Empirical distribution needs at least one value")
+        self.log_weights = log_weights_arr
+        self.name = name
+
+    # --------------------------------------------------------------- weights
+    @property
+    def normalized_weights(self) -> np.ndarray:
+        finite = np.where(np.isfinite(self.log_weights), self.log_weights, -np.inf)
+        if np.all(~np.isfinite(finite)):
+            # All weights are zero: fall back to uniform to stay usable.
+            return np.full(len(self.values), 1.0 / len(self.values))
+        log_norm = logsumexp(finite)
+        return np.exp(finite - log_norm)
+
+    @property
+    def log_evidence(self) -> float:
+        """log(1/N sum w_i): the IS estimate of the marginal likelihood p(y)."""
+        return float(logsumexp(self.log_weights) - np.log(len(self.values)))
+
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size of the importance weights."""
+        w = self.normalized_weights
+        return float(1.0 / np.sum(w**2))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------ projections
+    def map_values(self, fn: Callable[[Any], Any]) -> "Empirical":
+        """Apply ``fn`` to every value (e.g. extract one latent from each trace)."""
+        return Empirical([fn(v) for v in self.values], self.log_weights, name=self.name)
+
+    def extract(self, name: str) -> "Empirical":
+        """Project traces onto the named latent variable (drops traces lacking it)."""
+        values = []
+        log_weights = []
+        for value, log_weight in zip(self.values, self.log_weights):
+            if isinstance(value, Trace):
+                extracted = value.get(name, None)
+                if extracted is None:
+                    continue
+                values.append(extracted)
+                log_weights.append(log_weight)
+        if not values:
+            raise KeyError(f"no trace in this Empirical has a sample named {name!r}")
+        return Empirical(values, log_weights, name=f"{self.name}.{name}")
+
+    def _numeric(self) -> np.ndarray:
+        return np.asarray([float(np.asarray(v, dtype=float).reshape(-1)[0]) for v in self.values])
+
+    # --------------------------------------------------------------- summaries
+    @property
+    def mean(self) -> float:
+        values = self._numeric()
+        return float(np.sum(values * self.normalized_weights))
+
+    @property
+    def variance(self) -> float:
+        values = self._numeric()
+        mean = self.mean
+        return float(np.sum(self.normalized_weights * (values - mean) ** 2))
+
+    @property
+    def stddev(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def quantile(self, q: Union[float, Sequence[float]]):
+        values = self._numeric()
+        result = weighted_quantile(values, q, self.normalized_weights)
+        return float(result[0]) if np.isscalar(q) else result
+
+    def mode(self):
+        """The value with the largest weight (MAP over the empirical support)."""
+        index = int(np.argmax(self.log_weights))
+        return self.values[index]
+
+    def histogram(self, bins: int = 20, range_: Optional[Tuple[float, float]] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Weighted histogram: returns (densities, bin_edges)."""
+        values = self._numeric()
+        return np.histogram(values, bins=bins, range=range_, weights=self.normalized_weights, density=True)
+
+    def categorical_probabilities(self) -> Dict[Any, float]:
+        """Weighted probabilities of discrete values (e.g. the decay channel)."""
+        probs: Dict[Any, float] = {}
+        for value, weight in zip(self.values, self.normalized_weights):
+            key = int(np.asarray(value).reshape(-1)[0]) if not isinstance(value, (str, bool)) else value
+            probs[key] = probs.get(key, 0.0) + float(weight)
+        return probs
+
+    # --------------------------------------------------------------- resampling
+    def resample(self, num_samples: Optional[int] = None, rng: Optional[RandomState] = None) -> "Empirical":
+        """Systematic-style multinomial resampling to equal weights."""
+        rng = rng or get_rng()
+        count = num_samples or len(self.values)
+        indices = rng.generator.choice(len(self.values), size=count, p=self.normalized_weights)
+        return Empirical([self.values[i] for i in indices], None, name=self.name)
+
+    def unweighted_values(self) -> List[Any]:
+        return list(self.values)
+
+    # ----------------------------------------------------------------- algebra
+    @staticmethod
+    def combine(empiricals: Sequence["Empirical"], name: str = "combined") -> "Empirical":
+        """Concatenate several empirical distributions (e.g. per-rank IC results)."""
+        if not empiricals:
+            raise ValueError("need at least one Empirical to combine")
+        values: List[Any] = []
+        log_weights: List[float] = []
+        for emp in empiricals:
+            values.extend(emp.values)
+            log_weights.extend(emp.log_weights.tolist())
+        return Empirical(values, log_weights, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Empirical(name={self.name!r}, size={len(self)}, ess={self.effective_sample_size():.1f})"

@@ -1,0 +1,26 @@
+"""Inference engines: importance sampling, RMH/LMH MCMC, IC, and diagnostics."""
+
+from repro.ppl.inference import diagnostics, importance_sampling, random_walk_metropolis
+from repro.ppl.inference.importance_sampling import importance_sampling as run_importance_sampling
+from repro.ppl.inference.random_walk_metropolis import RandomWalkMetropolis
+from repro.ppl.inference.inference_compilation import InferenceCompilation, TrainingHistory
+from repro.ppl.inference.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+    integrated_autocorrelation_time,
+)
+
+__all__ = [
+    "diagnostics",
+    "importance_sampling",
+    "random_walk_metropolis",
+    "run_importance_sampling",
+    "RandomWalkMetropolis",
+    "InferenceCompilation",
+    "TrainingHistory",
+    "autocorrelation",
+    "effective_sample_size",
+    "gelman_rubin",
+    "integrated_autocorrelation_time",
+]

@@ -1,0 +1,98 @@
+"""MCMC convergence diagnostics (Section 4.2).
+
+The paper establishes the correctness of its RMH reference posteriors with two
+diagnostics, both implemented here:
+
+* **autocorrelation** — how many iterations are needed for effectively
+  independent samples within a chain, used to estimate how long RMH must run
+  for a target effective sample size (the paper reports ~1e5 iterations per
+  independent sample for the tau-decay observation), and
+* the **Gelman–Rubin** statistic (potential scale reduction factor, R-hat) —
+  given multiple independent chains, compares within-chain to pooled variance
+  to establish convergence onto the same posterior.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "gelman_rubin",
+]
+
+
+def autocorrelation(chain: Sequence[float], max_lag: int = None) -> np.ndarray:
+    """Normalised autocorrelation function of a scalar chain.
+
+    Returns ``rho[0..max_lag]`` with ``rho[0] == 1``.  Uses the FFT-free
+    direct estimator, which is adequate for the chain lengths used here.
+    """
+    x = np.asarray(chain, dtype=float)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to compute autocorrelation")
+    if max_lag is None:
+        max_lag = min(n - 1, 1000)
+    max_lag = min(max_lag, n - 1)
+    x_centered = x - x.mean()
+    variance = float(np.dot(x_centered, x_centered) / n)
+    if variance == 0:
+        # A constant chain is perfectly correlated at all lags.
+        return np.ones(max_lag + 1)
+    rho = np.empty(max_lag + 1)
+    rho[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        rho[lag] = float(np.dot(x_centered[:-lag], x_centered[lag:]) / (n * variance))
+    return rho
+
+
+def integrated_autocorrelation_time(chain: Sequence[float], max_lag: int = None) -> float:
+    """Integrated autocorrelation time tau = 1 + 2 * sum(rho_k).
+
+    The sum is truncated at the first negative autocorrelation (Geyer's
+    initial positive sequence heuristic, simplified), which keeps the
+    estimator stable for short chains.
+    """
+    rho = autocorrelation(chain, max_lag)
+    tau = 1.0
+    for lag in range(1, rho.shape[0]):
+        if rho[lag] <= 0:
+            break
+        tau += 2.0 * rho[lag]
+    return float(tau)
+
+
+def effective_sample_size(chain: Sequence[float], max_lag: int = None) -> float:
+    """Effective sample size N / tau of a scalar chain."""
+    x = np.asarray(chain, dtype=float)
+    tau = integrated_autocorrelation_time(x, max_lag)
+    return float(x.shape[0] / max(tau, 1e-12))
+
+
+def gelman_rubin(chains: Sequence[Sequence[float]]) -> float:
+    """Potential scale reduction factor (R-hat) for multiple chains.
+
+    Values close to 1 indicate that the chains have converged onto the same
+    posterior; the conventional threshold is R-hat < 1.1.
+    """
+    arrays: List[np.ndarray] = [np.asarray(c, dtype=float) for c in chains]
+    if len(arrays) < 2:
+        raise ValueError("gelman_rubin needs at least two chains")
+    length = min(a.shape[0] for a in arrays)
+    if length < 2:
+        raise ValueError("chains must contain at least two samples")
+    stacked = np.stack([a[:length] for a in arrays], axis=0)  # (m, n)
+    m, n = stacked.shape
+    chain_means = stacked.mean(axis=1)
+    chain_vars = stacked.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = n * chain_means.var(ddof=1)
+    if within == 0:
+        return 1.0
+    var_estimate = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_estimate / within))

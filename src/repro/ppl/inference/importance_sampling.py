@@ -1,0 +1,73 @@
+"""Importance sampling over execution traces.
+
+The basic IS engine: run the simulator ``num_traces`` times, drawing latents
+either from the prior (``proposal_provider=None``) or from per-address
+proposal distributions q(x|y) (the IC case), and weight each trace by
+
+    log w = log p(x, y) - log q(x)
+          = log_prior(x) + log_likelihood(y | x) - log q(x).
+
+When sampling from the prior the prior terms cancel and the weight reduces to
+the likelihood, which is the classic likelihood-weighting special case.
+IS/IC inference is embarrassingly parallel; the distributed driver simply
+merges per-rank :class:`repro.ppl.empirical.Empirical` results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.rng import RandomState, get_rng
+from repro.ppl.empirical import Empirical
+from repro.ppl.state import PriorController, ProposalController
+from repro.trace.trace import Trace
+
+__all__ = ["importance_sampling"]
+
+
+def importance_sampling(
+    model,
+    observation: Dict[str, Any],
+    num_traces: int = 1000,
+    proposal_provider: Optional[Callable] = None,
+    rng: Optional[RandomState] = None,
+    trace_callback: Optional[Callable[[Trace, float], None]] = None,
+) -> Empirical:
+    """Run importance sampling and return a weighted Empirical over traces.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.ppl.model.Model` (local or remote).
+    observation:
+        Mapping from observe-statement name to the observed value y.
+    num_traces:
+        Number of simulator executions.
+    proposal_provider:
+        Optional callable ``(address, instance, prior, state) -> Distribution``
+        supplying proposal distributions (used by IC); ``None`` means prior
+        proposals (likelihood weighting).
+    trace_callback:
+        Optional hook called with ``(trace, log_weight)`` after every
+        execution — used by tests and by the distributed inference driver.
+    """
+    if num_traces <= 0:
+        raise ValueError("num_traces must be positive")
+    rng = rng or get_rng()
+    traces: List[Trace] = []
+    log_weights: List[float] = []
+    for _ in range(num_traces):
+        if proposal_provider is None:
+            controller = PriorController()
+            trace = model.get_trace(controller, observed_values=observation, rng=rng)
+            log_q = getattr(trace, "log_q", trace.log_prior)
+        else:
+            controller = ProposalController(proposal_provider)
+            trace = model.get_trace(controller, observed_values=observation, rng=rng)
+            log_q = controller.log_q
+        log_weight = trace.log_joint - log_q
+        traces.append(trace)
+        log_weights.append(log_weight)
+        if trace_callback is not None:
+            trace_callback(trace, log_weight)
+    return Empirical(traces, log_weights, name="importance_sampling_posterior")

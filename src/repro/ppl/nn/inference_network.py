@@ -1,0 +1,301 @@
+"""The dynamic 3DCNN–LSTM inference network (Section 4.3).
+
+The network's runtime structure changes with every execution trace: an LSTM
+core runs for as many steps as the trace has latent draws, and address-specific
+embedding and proposal layers are attached according to the sequence of
+addresses A_t encountered in the simulator.  New address-specific layers are
+created the first time an address is seen (:meth:`InferenceNetwork.polymorph`),
+either on-the-fly in online training or in a pre-generation pass over an
+offline dataset (Section 4.4, :mod:`repro.ppl.nn.preprocessing`).
+
+Two entry points matter:
+
+* :meth:`InferenceNetwork.loss` — Algorithm 1: split a minibatch into
+  sub-minibatches of equal trace type, run each through the LSTM in a single
+  batched forward pass, and accumulate ``-log q_phi(x|y)``.
+* :meth:`InferenceNetwork.inference_session` — a stateful helper that walks
+  the LSTM step by step during guided execution, producing a proposal
+  distribution for every address the simulator requests over PPX.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import Config, get_config
+from repro.distributions import Categorical, Distribution, distribution_from_dict
+from repro.ppl.nn.embeddings import (
+    AddressEmbedding,
+    ObservationEmbedding3DCNN,
+    ObservationEmbeddingFC,
+    SampleEmbedding,
+)
+from repro.ppl.nn.proposals import make_proposal_layer
+from repro.tensor import no_grad
+from repro.tensor.nn import LSTM, Module, ModuleDict, Parameter
+from repro.tensor.tensor import Tensor
+from repro.trace.trace import Trace
+
+__all__ = ["InferenceNetwork", "ProposalSession"]
+
+
+class InferenceNetwork(Module):
+    """Dynamic LSTM network producing per-address proposal distributions."""
+
+    def __init__(
+        self,
+        observation_embedding: Optional[Module] = None,
+        config: Optional[Config] = None,
+        observe_key: Optional[str] = None,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        cfg = config or get_config()
+        self.config = cfg
+        self.observe_key = observe_key
+        self._rng = rng
+        if observation_embedding is None:
+            observation_embedding = ObservationEmbedding3DCNN(
+                observation_shape=cfg.observation_shape,
+                embedding_dim=cfg.observation_embedding_dim,
+                rng=rng,
+            )
+        self.observation_embedding = observation_embedding
+        obs_dim = getattr(observation_embedding, "embedding_dim", cfg.observation_embedding_dim)
+        self.obs_dim = obs_dim
+        self.address_dim = cfg.address_embedding_dim
+        self.sample_dim = cfg.sample_embedding_dim
+        lstm_input = obs_dim + self.address_dim + self.sample_dim
+        self.lstm = LSTM(lstm_input, cfg.lstm_hidden, num_layers=cfg.lstm_stacks, rng=rng)
+        self.address_embeddings = ModuleDict()
+        self.sample_embeddings = ModuleDict()
+        self.proposal_layers = ModuleDict()
+        #: per-address record of the prior used to build its layers (for saving)
+        self.address_specs: Dict[str, Dict[str, Any]] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------- polymorphism
+    def polymorph(self, traces: Iterable[Trace]) -> List[Tuple[str, Parameter]]:
+        """Create address-specific layers for any new addresses in ``traces``.
+
+        Returns the newly created named parameters so that an optimizer can
+        register them (online training).  When the network is frozen (the
+        distributed offline mode after layer pre-generation), unseen addresses
+        are reported via :attr:`last_discarded` instead and no layers are
+        created, mirroring the paper's freeze-and-discard behaviour.
+        """
+        new_parameters: List[Tuple[str, Parameter]] = []
+        self.last_discarded: List[str] = []
+        for trace in traces:
+            for sample in trace.samples:
+                if not sample.controlled or sample.distribution is None:
+                    continue
+                address = sample.address
+                if address in self.proposal_layers:
+                    continue
+                if self._frozen:
+                    self.last_discarded.append(address)
+                    continue
+                new_parameters.extend(self._create_layers(address, sample.distribution))
+        return new_parameters
+
+    def _create_layers(self, address: str, prior: Distribution) -> List[Tuple[str, Parameter]]:
+        before = {name for name, _ in self.named_parameters()}
+        self.address_embeddings[address] = AddressEmbedding(self.address_dim, rng=self._rng)
+        self.sample_embeddings[address] = SampleEmbedding(
+            SampleEmbedding.value_dim_for(prior), self.sample_dim, rng=self._rng
+        )
+        self.proposal_layers[address] = make_proposal_layer(
+            prior,
+            input_dim=self.config.lstm_hidden,
+            num_components=self.config.proposal_mixture_components,
+            rng=self._rng,
+        )
+        self.address_specs[address] = {"prior": prior.to_dict()}
+        return [(name, p) for name, p in self.named_parameters() if name not in before]
+
+    def freeze_architecture(self) -> None:
+        """Stop creating new address-specific layers (Section 4.4)."""
+        self._frozen = True
+
+    @property
+    def num_addresses(self) -> int:
+        return len(self.proposal_layers)
+
+    # ------------------------------------------------------------- observations
+    def _observation_array(self, trace: Trace) -> np.ndarray:
+        observation = trace.observation
+        if isinstance(observation, dict):
+            if self.observe_key is not None:
+                observation = observation[self.observe_key]
+            elif len(observation) == 1:
+                observation = next(iter(observation.values()))
+            else:
+                raise ValueError(
+                    "trace has multiple observes; construct the InferenceNetwork with observe_key"
+                )
+        # Scalar observations become length-1 vectors so that batching over
+        # traces always yields a (batch, ...) array.
+        return np.atleast_1d(np.asarray(observation, dtype=float))
+
+    # ------------------------------------------------------------------- loss
+    def loss(self, traces: Sequence[Trace]) -> Tensor:
+        """Algorithm 1: minibatch loss -1/B sum log q_phi(x|y).
+
+        The minibatch is partitioned into sub-minibatches of identical trace
+        type so that each sub-minibatch can be pushed through the LSTM in one
+        batched forward execution.
+        """
+        if len(traces) == 0:
+            raise ValueError("loss needs at least one trace")
+        groups: Dict[str, List[Trace]] = defaultdict(list)
+        for trace in traces:
+            groups[trace.trace_type].append(trace)
+        self._last_sub_minibatches = 0
+        total: Optional[Tensor] = None
+        for group in groups.values():
+            group_loss = self._sub_minibatch_loss(group)
+            total = group_loss if total is None else total + group_loss
+        assert total is not None
+        return total * (1.0 / len(traces))
+
+    @property
+    def last_num_sub_minibatches(self) -> int:
+        return getattr(self, "_last_sub_minibatches", 0)
+
+    def _sub_minibatch_loss(self, traces: Sequence[Trace]) -> Tensor:
+        """Negative log q summed over a group of same-trace-type traces."""
+        self._last_sub_minibatches = getattr(self, "_last_sub_minibatches", 0) + 1
+        batch = len(traces)
+        observations = np.stack([self._observation_array(t) for t in traces], axis=0)
+        obs_embed = self.observation_embedding(Tensor(observations))
+        steps = [
+            [s for s in trace.samples if s.controlled and s.distribution is not None]
+            for trace in traces
+        ]
+        num_steps = len(steps[0])
+        state = self.lstm.initial_state(batch)
+        prev_embed = Tensor(np.zeros((batch, self.sample_dim)))
+        neg_log_q: Optional[Tensor] = None
+        for t in range(num_steps):
+            samples_t = [steps[i][t] for i in range(batch)]
+            address = samples_t[0].address
+            if address not in self.proposal_layers:
+                continue  # discarded address (frozen network)
+            addr_embed = self.address_embeddings[address](batch)
+            lstm_input = Tensor.cat([obs_embed, addr_embed, prev_embed], axis=1)
+            hidden, state = self.lstm.step(lstm_input, state)
+            values = [s.value for s in samples_t]
+            priors = [s.distribution for s in samples_t]
+            log_q = self.proposal_layers[address].log_prob(hidden, values, priors)
+            neg_log_q = (-log_q) if neg_log_q is None else neg_log_q - log_q
+            encoded = SampleEmbedding.encode_values(priors[0], np.asarray(values))
+            prev_embed = self.sample_embeddings[address](Tensor(encoded))
+        if neg_log_q is None:
+            neg_log_q = Tensor(np.zeros(()))
+        return neg_log_q
+
+    # --------------------------------------------------------------- inference
+    def inference_session(self, observation) -> "ProposalSession":
+        """Start a guided-execution session for one observation y."""
+        return ProposalSession(self, observation)
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: str) -> None:
+        """Serialise architecture spec + weights to ``path``."""
+        payload = {
+            "config": self.config.__dict__,
+            "observe_key": self.observe_key,
+            "address_specs": self.address_specs,
+            "state_dict": self.state_dict(),
+            "observation_embedding_kind": type(self.observation_embedding).__name__,
+            "observation_embedding_meta": {
+                "embedding_dim": getattr(self.observation_embedding, "embedding_dim", None),
+                "observation_shape": getattr(self.observation_embedding, "observation_shape", None),
+                "input_dim": getattr(self.observation_embedding, "input_dim", None),
+            },
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "InferenceNetwork":
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        config = Config(**payload["config"])
+        meta = payload["observation_embedding_meta"]
+        if payload["observation_embedding_kind"] == "ObservationEmbeddingFC":
+            observation_embedding: Module = ObservationEmbeddingFC(
+                input_dim=meta["input_dim"], embedding_dim=meta["embedding_dim"]
+            )
+        else:
+            observation_embedding = ObservationEmbedding3DCNN(
+                observation_shape=tuple(meta["observation_shape"]),
+                embedding_dim=meta["embedding_dim"],
+            )
+        network = cls(observation_embedding=observation_embedding, config=config, observe_key=payload["observe_key"])
+        for address, spec in payload["address_specs"].items():
+            prior = distribution_from_dict(spec["prior"])
+            network._create_layers(address, prior)
+        network.load_state_dict(payload["state_dict"])
+        return network
+
+
+class ProposalSession:
+    """Stateful walker that produces proposals during one guided execution.
+
+    The execution controller calls :meth:`proposal` once per latent draw, in
+    simulator order.  The session advances the LSTM using the value drawn at
+    the *previous* step (read from the execution state's partial trace), which
+    is exactly the information flow of Figure 3.
+    """
+
+    def __init__(self, network: InferenceNetwork, observation) -> None:
+        self.network = network
+        observation_arr = np.asarray(observation, dtype=float)
+        with no_grad():
+            self._obs_embed = network.observation_embedding(Tensor(observation_arr[None, ...]))
+        self._state = None
+        self._prev_address: Optional[str] = None
+        self._prev_prior: Optional[Distribution] = None
+        self.num_steps = 0
+        self.num_fallbacks = 0
+
+    def _previous_embedding(self, previous_value) -> Tensor:
+        if (
+            previous_value is None
+            or self._prev_address is None
+            or self._prev_address not in self.network.sample_embeddings
+        ):
+            return Tensor(np.zeros((1, self.network.sample_dim)))
+        encoded = SampleEmbedding.encode_values(self._prev_prior, np.asarray([previous_value]))
+        return self.network.sample_embeddings[self._prev_address](Tensor(encoded))
+
+    def proposal(
+        self,
+        address: str,
+        prior: Distribution,
+        previous_value=None,
+    ) -> Optional[Distribution]:
+        """Proposal distribution for the next latent draw (or None for prior fallback)."""
+        self.num_steps += 1
+        if address not in self.network.proposal_layers:
+            # Address unseen during training: fall back to the prior without
+            # advancing the LSTM (the network has no representation for it).
+            self.num_fallbacks += 1
+            self._prev_address = None
+            self._prev_prior = None
+            return None
+        with no_grad():
+            prev_embed = self._previous_embedding(previous_value)
+            addr_embed = self.network.address_embeddings[address](1)
+            lstm_input = Tensor.cat([self._obs_embed, addr_embed, prev_embed], axis=1)
+            hidden, self._state = self.network.lstm.step(lstm_input, self._state)
+            distribution = self.network.proposal_layers[address].proposal_distribution(hidden, prior)
+        self._prev_address = address
+        self._prev_prior = prior
+        return distribution

@@ -1,0 +1,63 @@
+"""Offline layer pre-generation (Section 4.4).
+
+Because the embedding and proposal layers of the IC network are
+address-dependent, different ranks in a data-parallel run would otherwise
+build *different* networks from the minibatches they happen to see, making a
+generic gradient allreduce impossible.  The paper's solution for offline
+training is to pre-process the whole dataset once and pre-generate every
+embedding and proposal layer the dataset implies, then share this globally
+consistent network across all ranks (and freeze it so that online traces with
+unknown addresses are discarded rather than grown into new layers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.ppl.nn.inference_network import InferenceNetwork
+from repro.tensor.nn import Parameter
+from repro.trace.trace import Trace
+
+__all__ = ["pregenerate_layers", "collect_address_statistics"]
+
+
+def pregenerate_layers(
+    network: InferenceNetwork,
+    traces: Iterable[Trace],
+    freeze: bool = True,
+) -> List[Tuple[str, Parameter]]:
+    """Create every address-specific layer implied by ``traces``.
+
+    Returns the full list of newly created named parameters.  When ``freeze``
+    is True the architecture is frozen afterwards so every rank trains exactly
+    the same parameter set (required for allreduce-based synchronous SGD).
+    """
+    created = network.polymorph(traces)
+    if freeze:
+        network.freeze_architecture()
+    return created
+
+
+def collect_address_statistics(traces: Iterable[Trace]) -> dict:
+    """Summarise a dataset's address space (used in reports and tests).
+
+    Returns a dict with the set of unique addresses, the number of trace
+    types, and the distribution of trace lengths — the quantities the paper
+    quotes for the Sherpa setup (~24k addresses, many trace types, unbounded
+    lengths from rejection sampling).
+    """
+    addresses = set()
+    trace_types = set()
+    lengths = []
+    for trace in traces:
+        addresses.update(trace.addresses)
+        trace_types.add(trace.trace_type)
+        lengths.append(trace.length)
+    return {
+        "num_unique_addresses": len(addresses),
+        "num_trace_types": len(trace_types),
+        "num_traces": len(lengths),
+        "min_length": min(lengths) if lengths else 0,
+        "max_length": max(lengths) if lengths else 0,
+        "mean_length": sum(lengths) / len(lengths) if lengths else 0.0,
+    }

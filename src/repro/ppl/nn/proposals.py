@@ -1,0 +1,192 @@
+"""Proposal layers of the IC inference network (Section 4.3).
+
+The LSTM output at each time step is fed into *address-specific proposal
+layers* which produce the parameters of the proposal distribution q(x_t | ...)
+for the latent variable at that address:
+
+* for continuous priors, a **mixture of truncated normal distributions**
+  (truncated to the prior support for bounded priors such as Uniform), and
+* for categorical priors, a **categorical distribution**.
+
+Each proposal layer offers two views of the same parameterisation:
+
+* :meth:`log_prob` — a differentiable (autograd) log-density of recorded
+  values given the LSTM hidden state, used in the training loss
+  ``-E[log q_phi(x|y)]`` of Algorithm 1, and
+* :meth:`proposal_distribution` — a plain numpy distribution object used at
+  inference time by the importance-sampling controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions import (
+    Categorical,
+    Distribution,
+    Mixture,
+    Normal,
+    TruncatedNormal,
+    Uniform,
+)
+from repro.tensor import functional as F
+from repro.tensor.nn import Linear, Module, ReLU, Sequential
+from repro.tensor.tensor import Tensor
+
+__all__ = ["ProposalLayer", "ProposalNormalMixture", "ProposalCategorical", "make_proposal_layer"]
+
+_MIN_SCALE = 1e-3
+
+
+class ProposalLayer(Module):
+    """Common interface of address-specific proposal layers."""
+
+    def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
+        """Differentiable log q(values | hidden) summed over the batch."""
+        raise NotImplementedError
+
+    def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
+        """A concrete (numpy) proposal distribution for one execution."""
+        raise NotImplementedError
+
+
+class ProposalNormalMixture(ProposalLayer):
+    """Mixture-of-(truncated-)normals proposal for continuous latents.
+
+    The layer is a two-layer NN whose outputs parameterise K means, K scales
+    and K mixture logits.  Means are produced in a normalised coordinate and
+    rescaled to the prior's location/scale (or support, for bounded priors) at
+    call time, so the same layer works even if the prior's parameters vary a
+    little between traces at the same address.
+    """
+
+    def __init__(self, input_dim: int, num_components: int = 5, hidden_dim: int = 32, rng=None) -> None:
+        super().__init__()
+        self.num_components = num_components
+        self.body = Sequential(Linear(input_dim, hidden_dim, rng=rng), ReLU())
+        self.head_means = Linear(hidden_dim, num_components, rng=rng)
+        self.head_scales = Linear(hidden_dim, num_components, rng=rng)
+        self.head_logits = Linear(hidden_dim, num_components, rng=rng)
+
+    # ------------------------------------------------------------- parameters
+    def _raw_parameters(self, hidden: Tensor):
+        features = self.body(hidden)
+        raw_means = self.head_means(features)      # (B, K), in normalised space
+        raw_scales = self.head_scales(features)    # (B, K)
+        logits = self.head_logits(features)        # (B, K)
+        return raw_means, raw_scales, logits
+
+    @staticmethod
+    def _prior_bounds(prior: Distribution):
+        """Return (low, high, loc, scale) describing the prior's geometry."""
+        if isinstance(prior, Uniform):
+            return prior.low, prior.high, 0.5 * (prior.low + prior.high), (prior.high - prior.low)
+        if isinstance(prior, TruncatedNormal):
+            return prior.low, prior.high, prior.loc, prior.scale
+        loc = float(np.mean(np.atleast_1d(prior.mean)))
+        scale = float(np.sqrt(np.mean(np.atleast_1d(prior.variance))))
+        if not np.isfinite(scale) or scale <= 0:
+            scale = 1.0
+        return None, None, loc, scale
+
+    def _transformed_parameters(self, hidden: Tensor, priors: Sequence[Distribution]):
+        """Map raw NN outputs to per-batch-element (means, scales, log_weights)."""
+        raw_means, raw_scales, logits = self._raw_parameters(hidden)
+        batch = hidden.shape[0]
+        lows = np.empty(batch)
+        highs = np.empty(batch)
+        locs = np.empty(batch)
+        scales = np.empty(batch)
+        bounded = np.zeros(batch, dtype=bool)
+        for i, prior in enumerate(priors):
+            low, high, loc, scale = self._prior_bounds(prior)
+            bounded[i] = low is not None
+            lows[i] = low if low is not None else -np.inf
+            highs[i] = high if high is not None else np.inf
+            locs[i] = loc
+            scales[i] = max(scale, _MIN_SCALE)
+        loc_t = Tensor(locs.reshape(-1, 1))
+        scale_t = Tensor(scales.reshape(-1, 1))
+        means = loc_t + raw_means.tanh() * scale_t            # keep means near the prior region
+        comp_scales = F.softplus(raw_scales) * scale_t + _MIN_SCALE
+        log_weights = F.log_softmax(logits, axis=-1)
+        return means, comp_scales, log_weights, lows, highs, bounded
+
+    # ----------------------------------------------------------------- training
+    def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
+        values_arr = np.asarray(values, dtype=float).reshape(-1, 1)   # (B, 1)
+        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, priors)
+        # Component log-density at the recorded values.
+        log_pdf = F.normal_log_pdf(values_arr, means, scales)          # (B, K)
+        if np.any(bounded):
+            # Truncation: subtract log(Phi(beta) - Phi(alpha)) per component.
+            low_t = Tensor(np.where(np.isfinite(lows), lows, 0.0).reshape(-1, 1))
+            high_t = Tensor(np.where(np.isfinite(highs), highs, 0.0).reshape(-1, 1))
+            alpha = (low_t - means) / scales
+            beta = (high_t - means) / scales
+            z = F.normal_cdf(beta) - F.normal_cdf(alpha)
+            z = z.clamp(min_value=1e-8)
+            bounded_mask = Tensor(bounded.astype(float).reshape(-1, 1))
+            log_pdf = log_pdf - z.log() * bounded_mask
+        mixture_log_prob = F.logsumexp(log_weights + log_pdf, axis=-1)  # (B,)
+        return mixture_log_prob.sum()
+
+    # ---------------------------------------------------------------- inference
+    def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
+        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, [prior])
+        means_np = means.data.reshape(-1)
+        scales_np = scales.data.reshape(-1)
+        weights_np = np.exp(log_weights.data.reshape(-1))
+        components = []
+        for k in range(self.num_components):
+            if bounded[0]:
+                components.append(TruncatedNormal(means_np[k], scales_np[k], lows[0], highs[0]))
+            else:
+                components.append(Normal(means_np[k], scales_np[k]))
+        return Mixture(components, weights_np)
+
+
+class ProposalCategorical(ProposalLayer):
+    """Categorical proposal for discrete latents (e.g. the decay channel)."""
+
+    def __init__(self, input_dim: int, num_categories: int, hidden_dim: int = 32, rng=None) -> None:
+        super().__init__()
+        self.num_categories = num_categories
+        self.network = Sequential(
+            Linear(input_dim, hidden_dim, rng=rng), ReLU(), Linear(hidden_dim, num_categories, rng=rng)
+        )
+
+    def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
+        logits = self.network(hidden)
+        log_probs = F.log_softmax(logits, axis=-1)
+        indices = np.asarray(values, dtype=np.int64).reshape(-1)
+        picked = F.gather(log_probs, indices, axis=-1)
+        return picked.sum()
+
+    def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
+        logits = self.network(hidden)
+        probs = F.softmax(logits, axis=-1).data.reshape(-1)
+        # Guard against zero-probability categories that the prior allows:
+        # mix a small amount of the prior so importance weights stay finite.
+        if isinstance(prior, Categorical):
+            probs = 0.99 * probs + 0.01 * prior.probs
+        return Categorical(probs)
+
+
+def make_proposal_layer(
+    prior: Distribution,
+    input_dim: int,
+    num_components: int = 5,
+    hidden_dim: int = 32,
+    rng=None,
+) -> ProposalLayer:
+    """Factory choosing the proposal family appropriate for a prior."""
+    if isinstance(prior, Categorical):
+        return ProposalCategorical(input_dim, prior.num_categories, hidden_dim=hidden_dim, rng=rng)
+    if prior.discrete:
+        raise NotImplementedError(
+            f"no proposal layer family implemented for discrete prior {prior.name}"
+        )
+    return ProposalNormalMixture(input_dim, num_components=num_components, hidden_dim=hidden_dim, rng=rng)

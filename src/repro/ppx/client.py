@@ -1,0 +1,162 @@
+"""PPX simulator-side binding.
+
+This is the counterpart of the paper's C++ front end: a thin layer that a
+stochastic simulator links against in order to route its random-number draws
+and conditioning statements to the PPL over the protocol (Section 4.1).  In
+this reproduction the "foreign" simulator is a Python callable, possibly in a
+separate process connected over a socket, but the binding exposes exactly the
+operations a C++ simulator would: ``sample(distribution)`` and
+``observe(distribution, value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.distributions import Distribution
+from repro.ppx.addresses import AddressBuilder
+from repro.ppx.messages import (
+    Handshake,
+    HandshakeResult,
+    ObserveRequest,
+    ObserveResult,
+    Reset,
+    Run,
+    RunResult,
+    SampleRequest,
+    SampleResult,
+    ShutdownRequest,
+    ShutdownResult,
+)
+from repro.ppx.transport import Transport
+
+__all__ = ["SimulatorClient"]
+
+
+class SimulatorClient:
+    """The simulator's handle on the PPX connection.
+
+    Parameters
+    ----------
+    transport:
+        A connected :class:`repro.ppx.transport.Transport`.
+    simulator:
+        A callable ``simulator(client, observation) -> result`` that expresses
+        the stochastic program by calling :meth:`sample` and :meth:`observe`
+        on the ``client`` it receives.
+    system_name / model_name:
+        Identification strings sent in the handshake (e.g. ``"sherpa"``,
+        ``"tau-decay"``).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        simulator: Callable[["SimulatorClient", Any], Any],
+        system_name: str = "repro-simulator",
+        model_name: str = "model",
+    ) -> None:
+        self.transport = transport
+        self.simulator = simulator
+        self.system_name = system_name
+        self.model_name = model_name
+        self.address_builder = AddressBuilder()
+        self._running = False
+
+    # ------------------------------------------------------------ sample/observe
+    def sample(
+        self,
+        distribution: Distribution,
+        name: Optional[str] = None,
+        address: Optional[str] = None,
+        control: bool = True,
+        replace: bool = False,
+    ):
+        """Request a value for a random draw from the controlling PPL."""
+        resolved = address or self.address_builder.build(skip_frames=2)
+        request = SampleRequest(
+            address=resolved,
+            distribution=distribution.to_dict(),
+            name=name,
+            control=control,
+            replace=replace,
+        )
+        self.transport.send(request)
+        reply = self.transport.receive()
+        if not isinstance(reply, SampleResult):
+            raise RuntimeError(f"expected SampleResult, got {type(reply).__name__}")
+        value = reply.value
+        if isinstance(value, list):
+            value = np.asarray(value)
+        return value
+
+    def observe(
+        self,
+        distribution: Distribution,
+        value,
+        name: Optional[str] = None,
+        address: Optional[str] = None,
+    ) -> None:
+        """Report a conditioning statement (likelihood term) to the PPL."""
+        resolved = address or self.address_builder.build(skip_frames=2)
+        if isinstance(value, np.ndarray):
+            wire_value: Any = value
+        else:
+            wire_value = value
+        request = ObserveRequest(
+            address=resolved,
+            distribution=distribution.to_dict(),
+            value=wire_value,
+            name=name,
+        )
+        self.transport.send(request)
+        reply = self.transport.receive()
+        if not isinstance(reply, ObserveResult):
+            raise RuntimeError(f"expected ObserveResult, got {type(reply).__name__}")
+
+    # ----------------------------------------------------------------- serving
+    def handshake(self) -> None:
+        self.transport.send(
+            Handshake(system_name=self.system_name, model_name=self.model_name, language="python")
+        )
+        reply = self.transport.receive()
+        if not isinstance(reply, HandshakeResult) or not reply.accepted:
+            raise RuntimeError("PPX handshake rejected by the PPL side")
+
+    def serve_forever(self) -> None:
+        """Handshake, then answer Run requests until a shutdown arrives."""
+        self.handshake()
+        self._running = True
+        while self._running:
+            message = self.transport.receive()
+            if isinstance(message, Run):
+                observation = message.observation
+                if isinstance(observation, list):
+                    observation = np.asarray(observation)
+                try:
+                    result = self.simulator(self, observation)
+                    self.transport.send(RunResult(result=_to_wire(result), success=True))
+                except Exception as exc:  # report simulator failures to the PPL
+                    self.transport.send(RunResult(result=None, success=False, error=str(exc)))
+            elif isinstance(message, Reset):
+                self.address_builder.clear_cache()
+            elif isinstance(message, ShutdownRequest):
+                self.transport.send(ShutdownResult())
+                self._running = False
+            else:
+                raise RuntimeError(f"unexpected PPX message {type(message).__name__}")
+
+    def stop(self) -> None:
+        self._running = False
+
+
+def _to_wire(value):
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

@@ -1,0 +1,151 @@
+"""Binary wire format for PPX messages.
+
+The original PPX uses flatbuffers (a streamlined version of protocol buffers)
+so that simulators written in C++, C#, Go, etc. can exchange messages with a
+Python PPL.  flatbuffers is unavailable offline, so this module implements a
+compact, self-describing, language-agnostic-in-spirit binary encoding:
+
+* every value is encoded as a 1-byte type tag followed by a fixed-width or
+  length-prefixed payload (network byte order),
+* supported types cover everything PPX needs: None, bool, int64, float64,
+  UTF-8 strings, bytes, lists, dicts with string keys, and numpy arrays
+  (dtype + shape + raw buffer),
+* messages are framed on the transport with a 4-byte big-endian length prefix
+  (see :mod:`repro.ppx.transport`).
+
+The encoding is deliberately simple enough to re-implement in another
+language in an afternoon, which is the property that matters for the paper's
+"lightweight PPL front ends" claim.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.ppx.messages import Message, message_from_dict
+
+__all__ = ["encode_value", "decode_value", "encode_message", "decode_message"]
+
+# Type tags --------------------------------------------------------------------
+_T_NONE = b"N"
+_T_BOOL = b"B"
+_T_INT = b"I"
+_T_FLOAT = b"F"
+_T_STR = b"S"
+_T_BYTES = b"Y"
+_T_LIST = b"L"
+_T_DICT = b"D"
+_T_ARRAY = b"A"
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a Python value into the PPX binary format."""
+    if value is None:
+        return _T_NONE
+    if isinstance(value, bool):
+        return _T_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, (int, np.integer)):
+        return _T_INT + struct.pack("!q", int(value))
+    if isinstance(value, (float, np.floating)):
+        return _T_FLOAT + struct.pack("!d", float(value))
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return _T_STR + struct.pack("!I", len(raw)) + raw
+    if isinstance(value, (bytes, bytearray)):
+        return _T_BYTES + struct.pack("!I", len(value)) + bytes(value)
+    if isinstance(value, np.ndarray):
+        dtype_name = value.dtype.str.encode("ascii")
+        # Note: ascontiguousarray promotes 0-d arrays to 1-d, so the shape
+        # header must come from the original value.
+        contiguous = np.ascontiguousarray(value)
+        header = struct.pack("!B", len(dtype_name)) + dtype_name
+        header += struct.pack("!B", value.ndim)
+        header += struct.pack(f"!{value.ndim}I", *value.shape) if value.ndim else b""
+        raw = contiguous.tobytes()
+        return _T_ARRAY + header + struct.pack("!I", len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        parts = [encode_value(v) for v in value]
+        return _T_LIST + struct.pack("!I", len(parts)) + b"".join(parts)
+    if isinstance(value, dict):
+        parts = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError("PPX dictionaries must have string keys")
+            key_raw = key.encode("utf-8")
+            parts.append(struct.pack("!I", len(key_raw)) + key_raw + encode_value(item))
+        return _T_DICT + struct.pack("!I", len(parts)) + b"".join(parts)
+    raise TypeError(f"cannot encode value of type {type(value).__name__} for PPX")
+
+
+def decode_value(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value starting at ``offset``; returns ``(value, next_offset)``."""
+    tag = buffer[offset : offset + 1]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_BOOL:
+        return buffer[offset] == 1, offset + 1
+    if tag == _T_INT:
+        (value,) = struct.unpack_from("!q", buffer, offset)
+        return int(value), offset + 8
+    if tag == _T_FLOAT:
+        (value,) = struct.unpack_from("!d", buffer, offset)
+        return float(value), offset + 8
+    if tag == _T_STR:
+        (length,) = struct.unpack_from("!I", buffer, offset)
+        offset += 4
+        return buffer[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        (length,) = struct.unpack_from("!I", buffer, offset)
+        offset += 4
+        return bytes(buffer[offset : offset + length]), offset + length
+    if tag == _T_ARRAY:
+        (dtype_len,) = struct.unpack_from("!B", buffer, offset)
+        offset += 1
+        dtype = np.dtype(buffer[offset : offset + dtype_len].decode("ascii"))
+        offset += dtype_len
+        (ndim,) = struct.unpack_from("!B", buffer, offset)
+        offset += 1
+        shape = struct.unpack_from(f"!{ndim}I", buffer, offset) if ndim else ()
+        offset += 4 * ndim
+        (raw_len,) = struct.unpack_from("!I", buffer, offset)
+        offset += 4
+        array = np.frombuffer(buffer[offset : offset + raw_len], dtype=dtype).reshape(shape).copy()
+        return array, offset + raw_len
+    if tag == _T_LIST:
+        (count,) = struct.unpack_from("!I", buffer, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(buffer, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        (count,) = struct.unpack_from("!I", buffer, offset)
+        offset += 4
+        out: Dict[str, Any] = {}
+        for _ in range(count):
+            (key_len,) = struct.unpack_from("!I", buffer, offset)
+            offset += 4
+            key = buffer[offset : offset + key_len].decode("utf-8")
+            offset += key_len
+            value, offset = decode_value(buffer, offset)
+            out[key] = value
+        return out, offset
+    raise ValueError(f"unknown PPX type tag {tag!r} at offset {offset - 1}")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise a PPX message to bytes."""
+    return encode_value(message.to_dict())
+
+
+def decode_message(buffer: bytes) -> Message:
+    """Deserialise bytes back into a PPX message."""
+    payload, _ = decode_value(buffer, 0)
+    if not isinstance(payload, dict):
+        raise ValueError("PPX message payload must decode to a dictionary")
+    return message_from_dict(payload)

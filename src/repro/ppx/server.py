@@ -1,0 +1,148 @@
+"""PPX PPL-side controller.
+
+The PPL side of the protocol (Figure 1, right-hand column): it accepts the
+simulator's handshake, issues ``Run`` requests, and answers every
+``SampleRequest`` / ``ObserveRequest`` the simulator emits during a run.  The
+*policy* for answering sample requests (draw from the prior, replay a stored
+value, draw from an IC proposal, ...) is supplied by the inference engine as a
+callback, so the same controller serves prior sampling, RMH and IC inference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.distributions import distribution_from_dict
+from repro.ppx.messages import (
+    Handshake,
+    HandshakeResult,
+    ObserveRequest,
+    ObserveResult,
+    Run,
+    RunResult,
+    SampleRequest,
+    SampleResult,
+    ShutdownRequest,
+    ShutdownResult,
+)
+from repro.ppx.transport import Transport
+from repro.trace.sample import Sample
+from repro.trace.trace import Trace
+
+__all__ = ["SimulatorController"]
+
+#: signature of the sample-policy callback: (address, distribution, request) -> value
+SamplePolicy = Callable[[str, Any, SampleRequest], Any]
+
+
+class SimulatorController:
+    """Controls a remote simulator over PPX and records execution traces."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.simulator_name: Optional[str] = None
+        self.model_name: Optional[str] = None
+        self._handshaken = False
+
+    # ------------------------------------------------------------- handshake
+    def accept_handshake(self, timeout: Optional[float] = None) -> None:
+        message = self.transport.receive(timeout=timeout)
+        if not isinstance(message, Handshake):
+            raise RuntimeError(f"expected Handshake, got {type(message).__name__}")
+        self.simulator_name = message.system_name
+        self.model_name = message.model_name
+        self.transport.send(HandshakeResult(accepted=True))
+        self._handshaken = True
+
+    # ------------------------------------------------------------------- run
+    def run_trace(
+        self,
+        sample_policy: SamplePolicy,
+        observation: Any = None,
+        observe_override: Optional[Any] = None,
+    ) -> Trace:
+        """Execute the simulator once and return the recorded trace.
+
+        ``sample_policy`` decides the value for every latent draw.
+        ``observe_override`` (if given) replaces the simulator-reported value
+        at observe statements when scoring the likelihood — this is how an
+        actual detector observation is conditioned on while the simulator
+        still produces its own synthetic output.
+        """
+        if not self._handshaken:
+            self.accept_handshake()
+        trace = Trace()
+        self.transport.send(Run(observation=_to_wire(observation)))
+        while True:
+            message = self.transport.receive()
+            if isinstance(message, SampleRequest):
+                distribution = distribution_from_dict(message.distribution)
+                value = sample_policy(message.address, distribution, message)
+                log_prob = float(np.sum(distribution.log_prob(value)))
+                trace.add_sample(
+                    Sample(
+                        address=message.address,
+                        distribution=distribution,
+                        value=value,
+                        observed=False,
+                        log_prob=log_prob,
+                        controlled=message.control,
+                        name=message.name,
+                    )
+                )
+                self.transport.send(SampleResult(value=_to_wire(value)))
+            elif isinstance(message, ObserveRequest):
+                distribution = distribution_from_dict(message.distribution)
+                reported = message.value
+                if isinstance(reported, list):
+                    reported = np.asarray(reported)
+                scored_value = observe_override if observe_override is not None else reported
+                log_prob = float(np.sum(distribution.log_prob(scored_value)))
+                trace.add_sample(
+                    Sample(
+                        address=message.address,
+                        distribution=distribution,
+                        value=scored_value,
+                        observed=True,
+                        log_prob=log_prob,
+                        controlled=False,
+                        name=message.name,
+                    )
+                )
+                self.transport.send(ObserveResult())
+            elif isinstance(message, RunResult):
+                if not message.success:
+                    raise RuntimeError(f"simulator failed: {message.error}")
+                result = message.result
+                if isinstance(result, list):
+                    result = np.asarray(result)
+                trace.freeze(result=result, observation=observation)
+                return trace
+            else:
+                raise RuntimeError(f"unexpected PPX message {type(message).__name__}")
+
+    # -------------------------------------------------------------- shutdown
+    def shutdown(self) -> None:
+        try:
+            # A simulator that connected but never ran is still blocked in its
+            # handshake; complete it so the shutdown request is understood.
+            if not self._handshaken:
+                self.accept_handshake(timeout=5.0)
+            self.transport.send(ShutdownRequest())
+            reply = self.transport.receive(timeout=5.0)
+            if not isinstance(reply, ShutdownResult):  # pragma: no cover - defensive
+                raise RuntimeError("unexpected reply to shutdown")
+        finally:
+            self.transport.close()
+
+
+def _to_wire(value):
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

@@ -1,0 +1,129 @@
+"""PPX transports.
+
+The original system exchanges PPX messages over ZeroMQ sockets, which allows
+communication between separate processes on the same machine (inter-process
+sockets) or across a network (TCP).  This module provides the same two
+deployment shapes without ZeroMQ:
+
+* :class:`QueueTransport` — an in-process pair of queues, used when the
+  "simulator" is a Python callable living in the same process (fast path for
+  tests and for the local :class:`repro.ppl.model.Model`).
+* :class:`SocketTransport` — a length-prefix framed stream over a TCP or Unix
+  domain socket, used when the simulator runs in a *separate process* (the
+  Sherpa-like deployment, exercised by ``examples/remote_simulator_ppx.py``).
+
+All transports speak the same framing: a 4-byte big-endian length followed by
+the encoded message body.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.ppx.messages import Message
+from repro.ppx.serialization import decode_message, encode_message
+
+__all__ = ["Transport", "QueueTransport", "SocketTransport", "make_queue_pair", "connect_tcp", "listen_tcp"]
+
+
+class Transport:
+    """Abstract bidirectional message transport."""
+
+    def send(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def receive(self, timeout: Optional[float] = None) -> Message:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class QueueTransport(Transport):
+    """In-process transport backed by two queues (one per direction)."""
+
+    def __init__(self, outgoing: "queue.Queue[bytes]", incoming: "queue.Queue[bytes]") -> None:
+        self._outgoing = outgoing
+        self._incoming = incoming
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, message: Message) -> None:
+        data = encode_message(message)
+        self.bytes_sent += len(data)
+        self._outgoing.put(data)
+
+    def receive(self, timeout: Optional[float] = None) -> Message:
+        data = self._incoming.get(timeout=timeout)
+        self.bytes_received += len(data)
+        return decode_message(data)
+
+
+def make_queue_pair() -> Tuple[QueueTransport, QueueTransport]:
+    """Create a connected pair of in-process transports (PPL side, simulator side)."""
+    a_to_b: "queue.Queue[bytes]" = queue.Queue()
+    b_to_a: "queue.Queue[bytes]" = queue.Queue()
+    ppl_side = QueueTransport(outgoing=a_to_b, incoming=b_to_a)
+    sim_side = QueueTransport(outgoing=b_to_a, incoming=a_to_b)
+    return ppl_side, sim_side
+
+
+class SocketTransport(Transport):
+    """Length-prefix framed transport over a connected stream socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, message: Message) -> None:
+        data = encode_message(message)
+        frame = struct.pack("!I", len(data)) + data
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("PPX socket closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def receive(self, timeout: Optional[float] = None) -> Message:
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        header = self._recv_exact(4)
+        (length,) = struct.unpack("!I", header)
+        body = self._recv_exact(length)
+        self.bytes_received += 4 + length
+        return decode_message(body)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def listen_tcp(host: str = "127.0.0.1", port: int = 0) -> Tuple[socket.socket, int]:
+    """Open a listening TCP socket; returns ``(server_socket, bound_port)``."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(1)
+    return server, server.getsockname()[1]
+
+
+def connect_tcp(host: str, port: int, timeout: float = 10.0) -> SocketTransport:
+    """Connect to a listening PPX endpoint and wrap it in a transport."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SocketTransport(sock)

@@ -1,0 +1,38 @@
+"""Scientific simulators: the mini-Sherpa tau decay pipeline and friends."""
+
+from repro.simulators.handle import LocalHandle, SimulatorHandle
+from repro.simulators.channels import DECAY_CHANNELS, TAU_MASS, branching_ratios, channel_names
+from repro.simulators.detector import Deposit, Detector3D, DetectorConfig
+from repro.simulators.tau_decay import (
+    TauDecayConfig,
+    TauDecayModel,
+    ground_truth_event,
+    tau_decay_program,
+)
+from repro.simulators.spectroscopy import (
+    SpectroscopyConfig,
+    SpectroscopyModel,
+    spectroscopy_program,
+)
+from repro.simulators.external import SIMULATOR_REGISTRY, start_remote_model
+
+__all__ = [
+    "LocalHandle",
+    "SimulatorHandle",
+    "DECAY_CHANNELS",
+    "TAU_MASS",
+    "branching_ratios",
+    "channel_names",
+    "Deposit",
+    "Detector3D",
+    "DetectorConfig",
+    "TauDecayConfig",
+    "TauDecayModel",
+    "ground_truth_event",
+    "tau_decay_program",
+    "SpectroscopyConfig",
+    "SpectroscopyModel",
+    "spectroscopy_program",
+    "SIMULATOR_REGISTRY",
+    "start_remote_model",
+]

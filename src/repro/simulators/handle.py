@@ -1,0 +1,58 @@
+"""The simulator-side handle abstraction.
+
+The same generative program should be runnable in two deployments, exactly as
+in the paper:
+
+* **in-process**, traced directly by the PPL (the convenient path for
+  development and tests), and
+* **in a separate process**, coupled to the PPL only through PPX messages
+  (the Sherpa-like production path).
+
+To make that possible without duplicating simulator code, every simulator in
+:mod:`repro.simulators` is written against a small *handle* interface with
+``sample`` and ``observe`` methods.  :class:`LocalHandle` implements it with
+the in-process tracing primitives; :class:`repro.ppx.client.SimulatorClient`
+implements the same interface over the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from repro import ppl
+from repro.distributions import Distribution
+
+__all__ = ["SimulatorHandle", "LocalHandle"]
+
+
+class SimulatorHandle(Protocol):
+    """Structural interface shared by LocalHandle and SimulatorClient."""
+
+    def sample(
+        self,
+        distribution: Distribution,
+        name: Optional[str] = None,
+        address: Optional[str] = None,
+        control: bool = True,
+        replace: bool = False,
+    ) -> Any:
+        ...
+
+    def observe(
+        self,
+        distribution: Distribution,
+        value: Any = None,
+        name: Optional[str] = None,
+        address: Optional[str] = None,
+    ) -> Any:
+        ...
+
+
+class LocalHandle:
+    """Routes sample/observe calls to the in-process PPL tracing context."""
+
+    def sample(self, distribution, name=None, address=None, control=True, replace=False):
+        return ppl.sample(distribution, name=name, address=address, control=control)
+
+    def observe(self, distribution, value=None, name=None, address=None):
+        return ppl.observe(distribution, value=value, name=name, address=address)

@@ -1,0 +1,406 @@
+"""Functional neural-network operations on :class:`repro.tensor.Tensor`.
+
+This module provides the operations that the Etalumis inference-compilation
+network needs beyond elementary arithmetic: numerically stable softmax /
+log-softmax / logsumexp, the 3D convolution and 3D max-pooling used by the
+observation-embedding CNN (Section 4.3), embedding lookups, dropout and the
+negative-log-likelihood helpers used by the proposal layers.
+
+The 3D convolution follows the paper's MKL-DNN description in spirit: the
+kernel loop is unrolled (27 iterations for a 3x3x3 kernel) and each iteration
+is a fully vectorised tensor contraction over the batch and spatial axes, so
+numpy's BLAS does the heavy lifting - the Python-loop count is independent of
+batch and volume size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _accumulate, _make
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "softplus",
+    "linear",
+    "dropout",
+    "embedding",
+    "one_hot",
+    "gather",
+    "conv3d",
+    "max_pool3d",
+    "nll_loss",
+    "mse_loss",
+    "erf",
+    "normal_cdf",
+    "normal_log_pdf",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))`` with autograd support."""
+    value = np.logaddexp(0.0, x.data)
+    out = _make(value, (x,))
+    if out.requires_grad:
+        sig = 1.0 / (1.0 + np.exp(-x.data))
+        def _bw(grad):
+            _accumulate(x, grad * sig)
+        out._backward = _bw
+    return out
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp along ``axis``."""
+    max_val = np.max(x.data, axis=axis, keepdims=True)
+    max_val = np.where(np.isfinite(max_val), max_val, 0.0)
+    shifted = x.data - max_val
+    sum_exp = np.sum(np.exp(shifted), axis=axis, keepdims=True)
+    value = np.log(sum_exp) + max_val
+    if not keepdims:
+        value = np.squeeze(value, axis=axis)
+    out = _make(value, (x,))
+    if out.requires_grad:
+        softmax_val = np.exp(shifted) / sum_exp
+        def _bw(grad):
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            _accumulate(x, g * softmax_val)
+        out._backward = _bw
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable, with autograd)."""
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / np.sum(exp, axis=axis, keepdims=True)
+    out = _make(value, (x,))
+    if out.requires_grad:
+        def _bw(grad):
+            dot = np.sum(grad * value, axis=axis, keepdims=True)
+            _accumulate(x, value * (grad - dot))
+        out._backward = _bw
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable, with autograd)."""
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    log_denominator = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    value = shifted - log_denominator
+    out = _make(value, (x,))
+    if out.requires_grad:
+        softmax_val = np.exp(value)
+        def _bw(grad):
+            total = np.sum(grad, axis=axis, keepdims=True)
+            _accumulate(x, grad - softmax_val * total)
+        out._backward = _bw
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with PyTorch weight layout ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True, rng=None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    from repro.common.rng import get_rng
+
+    generator = (rng or get_rng()).generator
+    mask = (generator.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    out = _make(x.data * mask, (x,))
+    if out.requires_grad:
+        def _bw(grad):
+            _accumulate(x, grad * mask)
+        out._backward = _bw
+    return out
+
+
+def one_hot(indices: Union[np.ndarray, Sequence[int]], num_classes: int) -> Tensor:
+    """One-hot encode integer indices into a float tensor."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(idx.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, idx[..., None], 1.0, axis=-1)
+    return Tensor(out)
+
+
+def embedding(weight: Tensor, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
+    """Row lookup into an embedding matrix with sparse-style gradient."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out = _make(weight.data[idx], (weight,))
+    if out.requires_grad:
+        def _bw(grad):
+            full = np.zeros_like(weight.data)
+            np.add.at(full, idx, grad)
+            _accumulate(weight, full)
+        out._backward = _bw
+    return out
+
+
+def gather(x: Tensor, indices: Union[np.ndarray, Sequence[int]], axis: int = -1) -> Tensor:
+    """Select one element per row along ``axis`` (like ``torch.gather`` with 1 index)."""
+    idx = np.asarray(indices, dtype=np.int64)
+    expanded = np.expand_dims(idx, axis=axis)
+    value = np.take_along_axis(x.data, expanded, axis=axis)
+    value = np.squeeze(value, axis=axis)
+    out = _make(value, (x,))
+    if out.requires_grad:
+        def _bw(grad):
+            full = np.zeros_like(x.data)
+            np.put_along_axis(full, expanded, np.expand_dims(grad, axis=axis), axis=axis)
+            _accumulate(x, full)
+        out._backward = _bw
+    return out
+
+
+def nll_loss(log_probs: Tensor, targets: Union[np.ndarray, Sequence[int]], reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood loss over categorical log-probabilities."""
+    picked = gather(log_probs, targets, axis=-1)
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean-squared-error loss."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t.detach()
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    if reduction == "none":
+        return sq
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+_SQRT_2 = float(np.sqrt(2.0))
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+_LOG_SQRT_2PI = 0.5 * float(np.log(2.0 * np.pi))
+
+
+def erf(x: Tensor) -> Tensor:
+    """Gauss error function with autograd (d/dx erf = 2/sqrt(pi) exp(-x^2))."""
+    from scipy.special import erf as _erf
+
+    value = _erf(x.data)
+    out = _make(value, (x,))
+    if out.requires_grad:
+        deriv = 2.0 / np.sqrt(np.pi) * np.exp(-x.data**2)
+        def _bw(grad):
+            _accumulate(x, grad * deriv)
+        out._backward = _bw
+    return out
+
+
+def normal_cdf(x: Tensor) -> Tensor:
+    """Standard-normal CDF Phi(x), differentiable (d Phi/dx = standard normal pdf).
+
+    Needed by the truncated-normal mixture proposal layers, whose
+    normalisation constants Phi(beta) - Phi(alpha) must be differentiated with
+    respect to the NN-produced means and scales.
+    """
+    return (erf(x * (1.0 / _SQRT_2)) + 1.0) * 0.5
+
+
+def normal_log_pdf(x, loc: Tensor, scale: Tensor) -> Tensor:
+    """Log density of Normal(loc, scale) at (non-differentiated) values ``x``."""
+    x_t = x if isinstance(x, Tensor) else Tensor(x)
+    z = (x_t.detach() - loc) / scale
+    return z * z * (-0.5) - scale.log() - _LOG_SQRT_2PI
+
+
+# --------------------------------------------------------------------------- conv3d
+def _triple(value: Union[int, Tuple[int, int, int]]) -> Tuple[int, int, int]:
+    if isinstance(value, int):
+        return (value, value, value)
+    value = tuple(value)
+    if len(value) != 3:
+        raise ValueError("expected an int or a length-3 tuple")
+    return value  # type: ignore[return-value]
+
+
+def conv3d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Union[int, Tuple[int, int, int]] = 1,
+    padding: Union[int, Tuple[int, int, int]] = 0,
+) -> Tensor:
+    """3D convolution over a ``(N, C_in, D, H, W)`` input.
+
+    ``weight`` has shape ``(C_out, C_in, kD, kH, kW)`` and ``bias`` shape
+    ``(C_out,)``.  The implementation unrolls the (small) kernel loop and uses
+    a vectorised ``einsum`` per kernel offset, keeping the number of Python
+    iterations at ``kD*kH*kW`` regardless of input size.
+    """
+    stride = _triple(stride)
+    padding = _triple(padding)
+    n, c_in, d, h, w = x.shape
+    c_out, c_in_w, kd, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} do not match weight channels {c_in_w}")
+
+    pd, ph, pw = padding
+    sd, sh, sw = stride
+    x_pad = np.pad(
+        x.data,
+        ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)),
+        mode="constant",
+    )
+    d_pad, h_pad, w_pad = x_pad.shape[2:]
+    d_out = (d_pad - kd) // sd + 1
+    h_out = (h_pad - kh) // sh + 1
+    w_out = (w_pad - kw) // sw + 1
+    if d_out <= 0 or h_out <= 0 or w_out <= 0:
+        raise ValueError(
+            f"conv3d output would be empty for input {(d, h, w)} with kernel {(kd, kh, kw)}"
+        )
+
+    out_data = np.zeros((n, c_out, d_out, h_out, w_out), dtype=np.float64)
+    for i in range(kd):
+        for j in range(kh):
+            for k in range(kw):
+                patch = x_pad[
+                    :,
+                    :,
+                    i : i + sd * d_out : sd,
+                    j : j + sh * h_out : sh,
+                    k : k + sw * w_out : sw,
+                ]
+                out_data += np.einsum("ncdhw,oc->nodhw", patch, weight.data[:, :, i, j, k])
+    if bias is not None:
+        out_data += bias.data.reshape(1, c_out, 1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = _make(out_data, parents)
+    if out.requires_grad:
+        def _bw(grad):
+            if bias is not None and bias.requires_grad:
+                _accumulate(bias, grad.sum(axis=(0, 2, 3, 4)))
+            if weight.requires_grad:
+                grad_w = np.zeros_like(weight.data)
+                for i in range(kd):
+                    for j in range(kh):
+                        for k in range(kw):
+                            patch = x_pad[
+                                :,
+                                :,
+                                i : i + sd * d_out : sd,
+                                j : j + sh * h_out : sh,
+                                k : k + sw * w_out : sw,
+                            ]
+                            grad_w[:, :, i, j, k] = np.einsum("nodhw,ncdhw->oc", grad, patch)
+                _accumulate(weight, grad_w)
+            if x.requires_grad:
+                grad_x_pad = np.zeros_like(x_pad)
+                for i in range(kd):
+                    for j in range(kh):
+                        for k in range(kw):
+                            contribution = np.einsum(
+                                "nodhw,oc->ncdhw", grad, weight.data[:, :, i, j, k]
+                            )
+                            grad_x_pad[
+                                :,
+                                :,
+                                i : i + sd * d_out : sd,
+                                j : j + sh * h_out : sh,
+                                k : k + sw * w_out : sw,
+                            ] += contribution
+                grad_x = grad_x_pad[:, :, pd : pd + d, ph : ph + h, pw : pw + w]
+                _accumulate(x, grad_x)
+        out._backward = _bw
+    return out
+
+
+def max_pool3d(
+    x: Tensor,
+    kernel_size: Union[int, Tuple[int, int, int]] = 2,
+    stride: Optional[Union[int, Tuple[int, int, int]]] = None,
+) -> Tensor:
+    """3D max pooling over a ``(N, C, D, H, W)`` input.
+
+    ``stride`` defaults to ``kernel_size`` (non-overlapping windows), matching
+    the ``MaxPool3D(2)`` layers in the paper's observation embedding.
+    """
+    kernel = _triple(kernel_size)
+    stride_t = _triple(stride) if stride is not None else kernel
+    kd, kh, kw = kernel
+    sd, sh, sw = stride_t
+    n, c, d, h, w = x.shape
+    d_out = (d - kd) // sd + 1
+    h_out = (h - kh) // sh + 1
+    w_out = (w - kw) // sw + 1
+    if d_out <= 0 or h_out <= 0 or w_out <= 0:
+        raise ValueError(f"max_pool3d output would be empty for input {(d, h, w)}")
+
+    best = np.full((n, c, d_out, h_out, w_out), -np.inf)
+    best_offset = np.zeros((n, c, d_out, h_out, w_out), dtype=np.int64)
+    offset = 0
+    for i in range(kd):
+        for j in range(kh):
+            for k in range(kw):
+                patch = x.data[
+                    :,
+                    :,
+                    i : i + sd * d_out : sd,
+                    j : j + sh * h_out : sh,
+                    k : k + sw * w_out : sw,
+                ]
+                better = patch > best
+                best = np.where(better, patch, best)
+                best_offset = np.where(better, offset, best_offset)
+                offset += 1
+
+    out = _make(best, (x,))
+    if out.requires_grad:
+        def _bw(grad):
+            grad_x = np.zeros_like(x.data)
+            offset_idx = 0
+            for i in range(kd):
+                for j in range(kh):
+                    for k in range(kw):
+                        mask = best_offset == offset_idx
+                        grad_x[
+                            :,
+                            :,
+                            i : i + sd * d_out : sd,
+                            j : j + sh * h_out : sh,
+                            k : k + sw * w_out : sw,
+                        ] += grad * mask
+                        offset_idx += 1
+            _accumulate(x, grad_x)
+        out._backward = _bw
+    return out

@@ -1,0 +1,25 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.tensor.optim.optimizer import Optimizer
+from repro.tensor.optim.sgd import SGD
+from repro.tensor.optim.adam import Adam
+from repro.tensor.optim.larc import LARC
+from repro.tensor.optim.lr_scheduler import (
+    ConstantLR,
+    LRScheduler,
+    MultiStepLR,
+    PolynomialDecayLR,
+    scale_learning_rate,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LARC",
+    "LRScheduler",
+    "ConstantLR",
+    "MultiStepLR",
+    "PolynomialDecayLR",
+    "scale_learning_rate",
+]

@@ -1,0 +1,61 @@
+"""Adam optimizer (Kingma & Ba, 2014), the paper's baseline optimizer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        if not (0.0 <= self.beta1 < 1.0 and 0.0 <= self.beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def compute_update(self, param) -> np.ndarray:
+        """Return the (learning-rate-free) Adam direction for one parameter.
+
+        Exposed separately so that :class:`repro.tensor.optim.larc.LARC` can
+        rescale it per layer before application.
+        """
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        state = self.state.setdefault(id(param), {})
+        m = state.get("m")
+        v = state.get("v")
+        t = state.get("t", 0) + 1
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+        state["m"], state["v"], state["t"] = m, v, t
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            update = self.compute_update(param)
+            param.data = param.data - self.lr * update

@@ -1,0 +1,95 @@
+"""Layer-wise Adaptive Rate Control (LARC).
+
+The paper's best-converging configuration for the 128k global minibatch is the
+"Adam-LARC" optimizer (Ginsburg et al.; You et al. LARS): the base optimizer's
+update for each layer is rescaled so that the *local* learning rate is
+proportional to ``||w|| / ||update||``, clipped so it never exceeds the global
+learning rate.  This stabilises very-large-minibatch training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.optim.adam import Adam
+from repro.tensor.optim.optimizer import Optimizer
+from repro.tensor.optim.sgd import SGD
+
+__all__ = ["LARC"]
+
+
+class LARC(Optimizer):
+    """Wrap a base optimizer (Adam or SGD) with layer-wise adaptive rate control.
+
+    Parameters
+    ----------
+    base:
+        The wrapped optimizer; its per-parameter update direction is reused.
+    trust_coefficient:
+        The eta coefficient in ``lr_local = eta * ||w|| / ||update||``.
+    clip:
+        If True (default) the local rate is clipped at the global rate
+        (LARC-clip mode, the variant the paper uses); otherwise it scales
+        freely (LARS-like).
+    eps:
+        Numerical floor for the update norm.
+    """
+
+    def __init__(self, base: Optimizer, trust_coefficient: float = 0.02, clip: bool = True, eps: float = 1e-8) -> None:
+        # Note: we intentionally do not call super().__init__ with new params;
+        # we mirror the base optimizer's parameter list.
+        self.base = base
+        self.params = base.params
+        self._names = base._names
+        self.trust_coefficient = float(trust_coefficient)
+        self.clip = bool(clip)
+        self.eps = float(eps)
+        self._step_count = 0
+        self.state = base.state
+
+    @property
+    def lr(self) -> float:
+        return self.base.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.base.lr = value
+
+    def zero_grad(self) -> None:
+        self.base.zero_grad()
+
+    def add_param_group(self, params, names=None) -> None:
+        self.base.add_param_group(params, names)
+        self.params = self.base.params
+        self._names = self.base._names
+
+    def _direction(self, param) -> np.ndarray:
+        if isinstance(self.base, Adam):
+            return self.base.compute_update(param)
+        if isinstance(self.base, SGD):
+            grad = param.grad
+            if self.base.weight_decay:
+                grad = grad + self.base.weight_decay * param.data
+            return grad
+        # Generic fallback: raw gradient.
+        return param.grad
+
+    def step(self) -> None:
+        self._step_count += 1
+        self.base._step_count += 1
+        global_lr = self.base.lr
+        for param in self.params:
+            if param.grad is None:
+                continue
+            update = self._direction(param)
+            param_norm = float(np.linalg.norm(param.data))
+            update_norm = float(np.linalg.norm(update))
+            if param_norm > 0 and update_norm > self.eps:
+                local_lr = self.trust_coefficient * param_norm / (update_norm + self.eps)
+                if self.clip:
+                    effective_lr = min(local_lr, global_lr)
+                else:
+                    effective_lr = local_lr * global_lr
+            else:
+                effective_lr = global_lr
+            param.data = param.data - effective_lr * update

@@ -1,0 +1,80 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RandomState, get_rng, seed_all, temporary_seed
+
+
+class TestRandomState:
+    def test_same_seed_same_stream(self):
+        a = RandomState(7)
+        b = RandomState(7)
+        assert np.allclose(a.normal(size=10), b.normal(size=10))
+
+    def test_different_seed_different_stream(self):
+        a = RandomState(7)
+        b = RandomState(8)
+        assert not np.allclose(a.normal(size=10), b.normal(size=10))
+
+    def test_reseed_restarts_stream(self):
+        state = RandomState(3)
+        first = state.uniform(size=5)
+        state.reseed(3)
+        assert np.allclose(state.uniform(size=5), first)
+
+    def test_spawn_children_are_deterministic(self):
+        parent = RandomState(11)
+        child_a = parent.spawn(0)
+        child_b = RandomState(11).spawn(0)
+        assert np.allclose(child_a.normal(size=6), child_b.normal(size=6))
+
+    def test_spawn_children_differ_by_key(self):
+        parent = RandomState(11)
+        assert not np.allclose(parent.spawn(0).normal(size=6), parent.spawn(1).normal(size=6))
+
+    def test_spawn_name_includes_key(self):
+        parent = RandomState(11, name="root")
+        assert parent.spawn(3).name == "root/3"
+
+    def test_integers_bounds(self):
+        state = RandomState(0)
+        draws = state.integers(0, 5, size=200)
+        assert draws.min() >= 0 and draws.max() < 5
+
+    def test_choice_with_probabilities(self):
+        state = RandomState(0)
+        draws = state.choice(3, size=3000, p=[0.8, 0.1, 0.1])
+        assert (draws == 0).mean() > 0.7
+
+    def test_convenience_distributions(self):
+        state = RandomState(0)
+        assert state.gamma(2.0, 1.0, size=10).shape == (10,)
+        assert state.beta(2.0, 2.0, size=10).shape == (10,)
+        assert state.poisson(3.0, size=10).shape == (10,)
+        assert state.exponential(1.0, size=10).shape == (10,)
+        assert state.standard_normal(4).shape == (4,)
+        assert len(state.permutation(np.arange(5))) == 5
+
+
+class TestGlobalState:
+    def test_seed_all_is_reproducible(self):
+        seed_all(99)
+        a = get_rng().normal(size=5)
+        seed_all(99)
+        b = get_rng().normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_temporary_seed_restores_previous_stream(self):
+        seed_all(5)
+        _ = get_rng().normal(size=3)
+        expected_next = np.random.default_rng(5).normal(size=6)[3:]
+        with temporary_seed(123):
+            inner = get_rng().normal(size=3)
+            assert np.allclose(inner, np.random.default_rng(123).normal(size=3))
+        after = get_rng().normal(size=3)
+        assert np.allclose(after, expected_next)
+
+    def test_temporary_seed_yields_global_state(self):
+        with temporary_seed(42) as state:
+            assert state is get_rng()

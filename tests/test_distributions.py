@@ -1,0 +1,344 @@
+"""Tests for repro.distributions: sampling statistics, densities, serialisation."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.common.rng import RandomState
+from repro.distributions import (
+    Bernoulli,
+    Beta,
+    Categorical,
+    Distribution,
+    Exponential,
+    Gamma,
+    Mixture,
+    MultivariateNormal,
+    Normal,
+    Poisson,
+    TruncatedNormal,
+    Uniform,
+    distribution_from_dict,
+)
+
+
+RNG = RandomState(77)
+
+
+def check_moments(dist, n=20000, rtol=0.1, atol=0.05):
+    samples = np.asarray(dist.sample(RNG, size=n), dtype=float)
+    assert np.isclose(samples.mean(), dist.mean, rtol=rtol, atol=atol)
+    assert np.isclose(samples.var(), dist.variance, rtol=3 * rtol, atol=3 * atol)
+
+
+def check_roundtrip(dist):
+    rebuilt = distribution_from_dict(dist.to_dict())
+    assert rebuilt == dist
+    assert type(rebuilt) is type(dist)
+
+
+class TestNormal:
+    def test_log_prob_matches_scipy(self):
+        dist = Normal(1.5, 2.0)
+        x = np.linspace(-5, 8, 30)
+        assert np.allclose(dist.log_prob(x), stats.norm(1.5, 2.0).logpdf(x))
+
+    def test_moments_and_sampling(self):
+        check_moments(Normal(-2.0, 0.7))
+
+    def test_cdf_icdf_inverse(self):
+        dist = Normal(0.5, 1.2)
+        q = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(dist.cdf(dist.icdf(q)), q)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, -1.0)
+
+    def test_roundtrip(self):
+        check_roundtrip(Normal(3.0, 0.2))
+
+    def test_vector_parameters(self):
+        dist = Normal(np.zeros(4), np.ones(4) * 2.0)
+        x = np.ones(4)
+        assert dist.log_prob(x).shape == (4,)
+        assert np.allclose(dist.log_prob(x), stats.norm(0, 2).logpdf(1.0))
+
+    def test_stddev(self):
+        assert Normal(0.0, 3.0).stddev == pytest.approx(3.0)
+
+
+class TestUniform:
+    def test_log_prob_inside_and_outside(self):
+        dist = Uniform(-1.0, 3.0)
+        assert dist.log_prob(0.0) == pytest.approx(-np.log(4.0))
+        assert dist.log_prob(5.0) == -np.inf
+        assert dist.log_prob(-2.0) == -np.inf
+
+    def test_moments(self):
+        check_moments(Uniform(2.0, 6.0))
+
+    def test_samples_in_support(self):
+        samples = Uniform(-1.0, 1.0).sample(RNG, size=1000)
+        assert samples.min() >= -1.0 and samples.max() <= 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+
+    def test_roundtrip(self):
+        check_roundtrip(Uniform(0.0, 2.5))
+
+
+class TestCategorical:
+    def test_probabilities_normalised(self):
+        dist = Categorical([2.0, 1.0, 1.0])
+        assert np.allclose(dist.probs, [0.5, 0.25, 0.25])
+        assert dist.num_categories == 3
+
+    def test_log_prob(self):
+        dist = Categorical([0.2, 0.8])
+        assert dist.log_prob(1) == pytest.approx(np.log(0.8))
+        assert dist.log_prob(5) == -np.inf
+        assert dist.log_prob(np.array([0, 1])).shape == (2,)
+
+    def test_sampling_frequencies(self):
+        dist = Categorical([0.7, 0.2, 0.1])
+        samples = dist.sample(RNG, size=20000)
+        freq = np.bincount(samples, minlength=3) / 20000
+        assert np.allclose(freq, dist.probs, atol=0.02)
+
+    def test_scalar_sample_is_int(self):
+        assert isinstance(Categorical([0.5, 0.5]).sample(RNG), int)
+
+    def test_moments(self):
+        dist = Categorical([0.25, 0.25, 0.5])
+        assert dist.mean == pytest.approx(1.25)
+        assert dist.variance == pytest.approx(0.6875)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Categorical([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            Categorical([-0.1, 1.1])
+        with pytest.raises(ValueError):
+            Categorical([0.0, 0.0])
+
+    def test_roundtrip(self):
+        check_roundtrip(Categorical([0.1, 0.2, 0.7]))
+
+
+class TestTruncatedNormal:
+    def test_log_prob_matches_scipy(self):
+        loc, scale, low, high = 0.5, 1.2, -1.0, 2.0
+        dist = TruncatedNormal(loc, scale, low, high)
+        ref = stats.truncnorm((low - loc) / scale, (high - loc) / scale, loc=loc, scale=scale)
+        x = np.linspace(-0.9, 1.9, 17)
+        assert np.allclose(dist.log_prob(x), ref.logpdf(x))
+
+    def test_log_prob_outside_support(self):
+        dist = TruncatedNormal(0.0, 1.0, -1.0, 1.0)
+        assert dist.log_prob(1.5) == -np.inf
+
+    def test_samples_within_bounds(self):
+        dist = TruncatedNormal(0.0, 5.0, -0.5, 0.5)
+        samples = dist.sample(RNG, size=2000)
+        assert samples.min() >= -0.5 and samples.max() <= 0.5
+
+    def test_moments_against_scipy(self):
+        loc, scale, low, high = 1.0, 0.8, 0.0, 3.0
+        dist = TruncatedNormal(loc, scale, low, high)
+        ref = stats.truncnorm((low - loc) / scale, (high - loc) / scale, loc=loc, scale=scale)
+        assert dist.mean == pytest.approx(ref.mean(), rel=1e-6)
+        assert dist.variance == pytest.approx(ref.var(), rel=1e-6)
+
+    def test_far_tail_truncation_is_finite(self):
+        dist = TruncatedNormal(-50.0, 1.0, 0.0, 1.0)
+        assert np.isfinite(dist.log_prob(0.5))
+        assert 0.0 <= dist.sample(RNG) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(0.0, 0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            TruncatedNormal(0.0, 1.0, 1.0, -1.0)
+
+    def test_roundtrip(self):
+        check_roundtrip(TruncatedNormal(0.3, 0.7, -1.0, 2.0))
+
+
+class TestMixture:
+    def test_log_prob_is_weighted_logsumexp(self):
+        mix = Mixture([Normal(-1.0, 0.5), Normal(1.0, 0.5)], [0.3, 0.7])
+        x = np.linspace(-2, 2, 9)
+        expected = np.log(
+            0.3 * stats.norm(-1, 0.5).pdf(x) + 0.7 * stats.norm(1, 0.5).pdf(x)
+        )
+        assert np.allclose(mix.log_prob(x), expected)
+
+    def test_moments(self):
+        mix = Mixture([Normal(-1.0, 0.5), Normal(1.0, 0.5)], [0.5, 0.5])
+        assert mix.mean == pytest.approx(0.0)
+        assert mix.variance == pytest.approx(0.25 + 1.0)
+
+    def test_sampling_covers_components(self):
+        mix = Mixture([Normal(-5.0, 0.1), Normal(5.0, 0.1)], [0.5, 0.5])
+        samples = mix.sample(RNG, size=500)
+        assert (samples < 0).any() and (samples > 0).any()
+
+    def test_scalar_sample(self):
+        mix = Mixture([Uniform(0.0, 1.0)], [1.0])
+        assert 0.0 <= float(mix.sample(RNG)) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Mixture([Normal(0, 1)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Mixture([Normal(0, 1)], [-1.0])
+        with pytest.raises(ValueError):
+            Mixture([Normal(0, 1), Normal(1, 1)], [0.0, 0.0])
+
+    def test_roundtrip(self):
+        mix = Mixture([Normal(0.0, 1.0), TruncatedNormal(0.0, 1.0, -1.0, 1.0)], [0.4, 0.6])
+        rebuilt = distribution_from_dict(mix.to_dict())
+        x = np.linspace(-0.9, 0.9, 5)
+        assert np.allclose(rebuilt.log_prob(x), mix.log_prob(x))
+
+
+class TestMultivariateNormal:
+    def test_log_prob_matches_scipy_full_cov(self):
+        cov = np.array([[1.0, 0.3, 0.1], [0.3, 2.0, 0.2], [0.1, 0.2, 0.5]])
+        loc = np.array([1.0, -1.0, 0.5])
+        dist = MultivariateNormal(loc, cov)
+        ref = stats.multivariate_normal(loc, cov)
+        x = np.array([[0.0, 0.0, 0.0], [1.0, -1.0, 0.5], [2.0, 1.0, -1.0]])
+        assert np.allclose(dist.log_prob(x), ref.logpdf(x))
+
+    def test_diagonal_covariance_vector(self):
+        dist = MultivariateNormal([0.0, 0.0], [1.0, 4.0])
+        ref = stats.multivariate_normal([0, 0], np.diag([1.0, 4.0]))
+        x = np.array([0.5, -1.0])
+        assert dist.log_prob(x) == pytest.approx(ref.logpdf(x))
+
+    def test_scalar_3d_path_matches_general_diagonal(self):
+        dist = MultivariateNormal([0.1, 0.2, 0.3], [0.5, 1.0, 2.0])
+        x = np.random.default_rng(0).standard_normal((20, 3))
+        assert np.allclose(dist.log_prob_3d_scalar(x), dist.log_prob(x))
+
+    def test_scalar_3d_path_matches_general_full(self):
+        cov = np.array([[1.0, 0.2, 0.0], [0.2, 1.5, 0.1], [0.0, 0.1, 0.8]])
+        dist = MultivariateNormal([0.0, 0.0, 0.0], cov)
+        x = np.random.default_rng(1).standard_normal((20, 3))
+        assert np.allclose(dist.log_prob_3d_scalar(x), dist.log_prob(x))
+
+    def test_scalar_3d_requires_3_dimensions(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal([0.0, 0.0], [1.0, 1.0]).log_prob_3d_scalar([0.0, 0.0])
+
+    def test_sampling_mean_and_cov(self):
+        cov = np.array([[1.0, 0.5], [0.5, 2.0]])
+        dist = MultivariateNormal([1.0, -1.0], cov)
+        samples = dist.sample(RNG, size=20000)
+        assert np.allclose(samples.mean(axis=0), [1.0, -1.0], atol=0.05)
+        assert np.allclose(np.cov(samples.T), cov, atol=0.1)
+
+    def test_single_sample_shape(self):
+        dist = MultivariateNormal([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        assert np.asarray(dist.sample(RNG)).shape == (3,)
+
+    def test_moments(self):
+        dist = MultivariateNormal([1.0, 2.0], [3.0, 4.0])
+        assert np.allclose(dist.mean, [1.0, 2.0])
+        assert np.allclose(dist.variance, [3.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal([0.0, 0.0], [1.0])
+        with pytest.raises(ValueError):
+            MultivariateNormal([0.0, 0.0], [-1.0, 1.0])
+        with pytest.raises(ValueError):
+            MultivariateNormal([0.0], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            MultivariateNormal([0.0, 0.0], np.zeros((2, 2, 2)))
+
+    def test_roundtrip(self):
+        check_roundtrip(MultivariateNormal([0.0, 1.0], [[2.0, 0.1], [0.1, 1.0]]))
+
+
+class TestScalarDistributions:
+    def test_beta_matches_scipy(self):
+        dist = Beta(2.0, 3.0)
+        x = np.linspace(0.05, 0.95, 10)
+        assert np.allclose(dist.log_prob(x), stats.beta(2, 3).logpdf(x))
+        assert dist.log_prob(1.5) == -np.inf
+        check_moments(dist)
+        check_roundtrip(dist)
+
+    def test_gamma_matches_scipy(self):
+        dist = Gamma(3.0, 2.0)
+        x = np.linspace(0.1, 20, 10)
+        assert np.allclose(dist.log_prob(x), stats.gamma(3, scale=2).logpdf(x))
+        assert dist.log_prob(-1.0) == -np.inf
+        check_moments(dist, rtol=0.15)
+        check_roundtrip(dist)
+
+    def test_exponential_matches_scipy(self):
+        dist = Exponential(2.0)
+        x = np.linspace(0.0, 5, 10)
+        assert np.allclose(dist.log_prob(x), stats.expon(scale=0.5).logpdf(x))
+        assert dist.log_prob(-0.1) == -np.inf
+        check_moments(dist)
+        check_roundtrip(dist)
+
+    def test_poisson_matches_scipy(self):
+        dist = Poisson(4.0)
+        k = np.arange(0, 15)
+        assert np.allclose(dist.log_prob(k), stats.poisson(4.0).logpmf(k))
+        assert dist.log_prob(2.5) == -np.inf
+        assert dist.log_prob(-1) == -np.inf
+        assert isinstance(dist.sample(RNG), int)
+        check_moments(dist, rtol=0.1)
+        check_roundtrip(dist)
+
+    def test_bernoulli(self):
+        dist = Bernoulli(0.3)
+        assert dist.log_prob(1) == pytest.approx(np.log(0.3))
+        assert dist.log_prob(0) == pytest.approx(np.log(0.7))
+        assert dist.log_prob(2) == -np.inf
+        assert dist.mean == pytest.approx(0.3)
+        assert dist.variance == pytest.approx(0.21)
+        samples = dist.sample(RNG, size=10000)
+        assert abs(samples.mean() - 0.3) < 0.02
+        check_roundtrip(dist)
+
+    def test_scalar_validation(self):
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gamma(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Poisson(-2.0)
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+
+class TestRegistry:
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            distribution_from_dict({"type": "NotADistribution"})
+
+    def test_equality_and_hash(self):
+        a, b = Normal(0.0, 1.0), Normal(0.0, 1.0)
+        assert a == b
+        assert a != Uniform(0.0, 1.0)
+        assert a != Normal(0.0, 2.0)
+        assert hash(a) == hash(b)
+        assert (a == 5) is False or (a == 5) is NotImplemented or True
+
+    def test_prob_is_exp_log_prob(self):
+        dist = Normal(0.0, 1.0)
+        assert dist.prob(0.0) == pytest.approx(np.exp(dist.log_prob(0.0)))

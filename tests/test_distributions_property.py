@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the distribution library.
+
+These check the invariants that the inference engines rely on: samples lie in
+the support, log densities are finite exactly on the support, densities
+normalise, and serialisation round-trips preserve the density everywhere.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import RandomState
+from repro.distributions import (
+    Categorical,
+    Mixture,
+    Normal,
+    TruncatedNormal,
+    Uniform,
+    distribution_from_dict,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+positive_floats = st.floats(min_value=0.05, max_value=20, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(loc=finite_floats, scale=positive_floats, seed=st.integers(0, 2**31 - 1))
+def test_normal_samples_have_finite_log_prob(loc, scale, seed):
+    dist = Normal(loc, scale)
+    samples = dist.sample(RandomState(seed), size=16)
+    assert np.all(np.isfinite(dist.log_prob(samples)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(low=finite_floats, width=positive_floats, seed=st.integers(0, 2**31 - 1))
+def test_uniform_support_invariants(low, width, seed):
+    dist = Uniform(low, low + width)
+    samples = dist.sample(RandomState(seed), size=32)
+    assert np.all(samples >= low) and np.all(samples <= low + width)
+    assert np.all(np.isfinite(dist.log_prob(samples)))
+    assert dist.log_prob(low + width + 1.0) == -np.inf
+    assert dist.log_prob(low - 1.0) == -np.inf
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    loc=finite_floats,
+    scale=positive_floats,
+    low=st.floats(min_value=-20, max_value=0, allow_nan=False),
+    width=st.floats(min_value=0.5, max_value=30, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_truncated_normal_samples_stay_in_bounds(loc, scale, low, width, seed):
+    dist = TruncatedNormal(loc, scale, low, low + width)
+    samples = np.atleast_1d(dist.sample(RandomState(seed), size=32))
+    assert np.all(samples >= low - 1e-9)
+    assert np.all(samples <= low + width + 1e-9)
+    assert np.all(np.isfinite(dist.log_prob(samples)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    probs=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=12),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_categorical_probabilities_normalise_and_samples_valid(probs, seed):
+    dist = Categorical(probs)
+    assert np.isclose(dist.probs.sum(), 1.0)
+    samples = dist.sample(RandomState(seed), size=64)
+    assert np.all((samples >= 0) & (samples < len(probs)))
+    total_mass = np.exp(dist.log_prob(np.arange(len(probs)))).sum()
+    assert np.isclose(total_mass, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    loc=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    scale=st.floats(min_value=0.1, max_value=5, allow_nan=False),
+)
+def test_normal_density_normalises(loc, scale):
+    dist = Normal(loc, scale)
+    grid = np.linspace(loc - 12 * scale, loc + 12 * scale, 4001)
+    integral = np.trapezoid(np.exp(dist.log_prob(grid)), grid)
+    assert np.isclose(integral, 1.0, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    loc=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    scale=st.floats(min_value=0.2, max_value=3, allow_nan=False),
+    low=st.floats(min_value=-4, max_value=0, allow_nan=False),
+    width=st.floats(min_value=1.0, max_value=8, allow_nan=False),
+)
+def test_truncated_normal_density_normalises(loc, scale, low, width):
+    dist = TruncatedNormal(loc, scale, low, low + width)
+    grid = np.linspace(low, low + width, 4001)
+    integral = np.trapezoid(np.exp(dist.log_prob(grid)), grid)
+    assert np.isclose(integral, 1.0, atol=2e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    loc1=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    loc2=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    scale=positive_floats,
+    weight=st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+    x=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+def test_mixture_roundtrip_preserves_density(loc1, loc2, scale, weight, x):
+    mix = Mixture([Normal(loc1, scale), Normal(loc2, scale)], [weight, 1.0 - weight])
+    rebuilt = distribution_from_dict(mix.to_dict())
+    assert np.isclose(rebuilt.log_prob(x), mix.log_prob(x), rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    loc=finite_floats,
+    scale=positive_floats,
+    x=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+def test_normal_roundtrip_preserves_density(loc, scale, x):
+    dist = Normal(loc, scale)
+    rebuilt = distribution_from_dict(dist.to_dict())
+    assert np.isclose(rebuilt.log_prob(x), dist.log_prob(x), rtol=1e-12, atol=1e-12)

@@ -1,0 +1,158 @@
+"""End-to-end PPX tests: a simulator controlled by the PPL over the protocol."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributions import Normal, Uniform
+from repro.ppl import RemoteModel
+from repro.ppl.state import PriorController
+from repro.ppx import SimulatorClient, SimulatorController, make_queue_pair
+
+
+def gaussian_simulator(client, observation):
+    """mu ~ N(0,1); y ~ N(mu, 0.5) with a reported simulated value."""
+    mu = float(np.asarray(client.sample(Normal(0.0, 1.0), name="mu")))
+    client.observe(Normal(mu, 0.5), value=mu + 0.1, name="obs")
+    return mu
+
+
+def looping_simulator(client, observation):
+    """A simulator with a rejection loop (variable trace length)."""
+    total = 0.0
+    for _ in range(10):
+        draw = float(np.asarray(client.sample(Uniform(0.0, 1.0), name="u")))
+        total += draw
+        if total > 1.0:
+            break
+    client.observe(Normal(total, 0.1), value=total, name="obs")
+    return total
+
+
+def run_client_in_thread(simulator, transport):
+    client = SimulatorClient(transport, simulator, system_name="test-sim", model_name="test")
+    thread = threading.Thread(target=client.serve_forever, daemon=True)
+    thread.start()
+    return client, thread
+
+
+class TestSimulatorController:
+    def test_handshake_and_prior_trace(self):
+        ppl_side, sim_side = make_queue_pair()
+        _, thread = run_client_in_thread(gaussian_simulator, sim_side)
+        controller = SimulatorController(ppl_side)
+
+        def prior_policy(address, distribution, request):
+            return distribution.sample()
+
+        trace = controller.run_trace(prior_policy)
+        assert trace.length == 1
+        assert len(trace.observes) == 1
+        assert trace.samples[0].name == "mu"
+        assert np.isfinite(trace.log_joint)
+        assert controller.simulator_name == "test-sim"
+        controller.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_observe_override_changes_likelihood(self):
+        ppl_side, sim_side = make_queue_pair()
+        _, thread = run_client_in_thread(gaussian_simulator, sim_side)
+        controller = SimulatorController(ppl_side)
+
+        def fixed_policy(address, distribution, request):
+            return 0.0  # force mu = 0
+
+        trace_default = controller.run_trace(fixed_policy)
+        trace_conditioned = controller.run_trace(fixed_policy, observe_override=5.0)
+        # Conditioning on y=5 with mu=0 must be much less likely than y=0.1.
+        assert trace_conditioned.log_likelihood < trace_default.log_likelihood
+        controller.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_variable_length_traces(self):
+        ppl_side, sim_side = make_queue_pair()
+        _, thread = run_client_in_thread(looping_simulator, sim_side)
+        controller = SimulatorController(ppl_side)
+
+        def prior_policy(address, distribution, request):
+            return distribution.sample()
+
+        lengths = {controller.run_trace(prior_policy).length for _ in range(20)}
+        assert len(lengths) > 1  # rejection loop produces varying trace lengths
+        controller.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_simulator_error_is_propagated(self):
+        def failing_simulator(client, observation):
+            raise RuntimeError("simulated crash")
+
+        ppl_side, sim_side = make_queue_pair()
+        _, thread = run_client_in_thread(failing_simulator, sim_side)
+        controller = SimulatorController(ppl_side)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            controller.run_trace(lambda a, d, r: d.sample())
+        controller.shutdown()
+        thread.join(timeout=5.0)
+
+
+class TestRemoteModel:
+    def _remote(self, simulator):
+        ppl_side, sim_side = make_queue_pair()
+        _, thread = run_client_in_thread(simulator, sim_side)
+        return RemoteModel(ppl_side, name="remote-test"), thread
+
+    def test_prior_traces(self):
+        remote, thread = self._remote(gaussian_simulator)
+        traces = remote.prior_traces(5)
+        assert len(traces) == 5
+        assert all(t.length == 1 for t in traces)
+        assert all("obs" in t.observation for t in traces)
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_importance_sampling_posterior_matches_local(self):
+        from tests.conftest import gaussian_posterior
+
+        remote, thread = self._remote(gaussian_simulator)
+        y = 1.0
+        posterior = remote.posterior({"obs": y}, num_traces=2000, engine="importance_sampling")
+        mu = posterior.extract("mu")
+        true_mean, true_std = gaussian_posterior(y)
+        assert mu.mean == pytest.approx(true_mean, abs=0.1)
+        assert mu.stddev == pytest.approx(true_std, abs=0.1)
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_remote_model_forward_raises(self):
+        remote, thread = self._remote(gaussian_simulator)
+        with pytest.raises(RuntimeError):
+            remote.forward()
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_multiple_observes_not_supported(self):
+        remote, thread = self._remote(gaussian_simulator)
+        with pytest.raises(NotImplementedError):
+            remote.get_trace(PriorController(), observed_values={"a": 1.0, "b": 2.0})
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+
+class TestExternalProcess:
+    """The Sherpa-like deployment: the simulator runs in a separate OS process."""
+
+    def test_subprocess_simulator_over_tcp(self):
+        pytest.importorskip("subprocess")
+        from repro.simulators.external import start_remote_model
+
+        remote, process = start_remote_model("gaussian")
+        try:
+            traces = remote.prior_traces(3)
+            assert len(traces) == 3
+            posterior = remote.posterior({"obs": 0.8}, num_traces=200, engine="importance_sampling")
+            assert posterior.extract("mu").mean == pytest.approx(0.64, abs=0.25)
+        finally:
+            remote.shutdown()
+            process.wait(timeout=10)
+        assert process.returncode == 0

@@ -1,0 +1,264 @@
+"""Tests for the PPX protocol: serialization, messages, addresses, transports."""
+
+import queue
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import Normal, Uniform
+from repro.ppx import (
+    AddressBuilder,
+    Handshake,
+    HandshakeResult,
+    ObserveRequest,
+    Run,
+    RunResult,
+    SampleRequest,
+    SampleResult,
+    ShutdownRequest,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+    make_queue_pair,
+    message_from_dict,
+)
+from repro.ppx.transport import SocketTransport, connect_tcp, listen_tcp
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -12345,
+            2**40,
+            3.14159,
+            -1e-300,
+            "hello",
+            "unicode ✓ τ",
+            b"raw-bytes",
+            [1, 2.5, "three", None],
+            {"a": 1, "b": [True, {"c": "nested"}]},
+        ],
+    )
+    def test_scalar_roundtrip(self, value):
+        decoded, offset = decode_value(encode_value(value))
+        assert decoded == value
+        assert offset == len(encode_value(value))
+
+    def test_numpy_array_roundtrip(self):
+        for arr in (
+            np.arange(12.0).reshape(3, 4),
+            np.zeros((2, 3, 4), dtype=np.float32),
+            np.array([1, 2, 3], dtype=np.int64),
+            np.array(5.0),
+        ):
+            decoded, _ = decode_value(encode_value(arr))
+            assert isinstance(decoded, np.ndarray)
+            assert decoded.dtype == arr.dtype
+            assert decoded.shape == arr.shape
+            assert np.allclose(decoded, arr)
+
+    def test_nested_structure_with_arrays(self):
+        payload = {"obs": np.ones((2, 2)), "meta": {"n": 3, "tags": ["a", "b"]}}
+        decoded, _ = decode_value(encode_value(payload))
+        assert np.allclose(decoded["obs"], 1.0)
+        assert decoded["meta"]["tags"] == ["a", "b"]
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_non_string_dict_key_raises(self):
+        with pytest.raises(TypeError):
+            encode_value({1: "a"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError):
+            decode_value(b"Zjunk")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**62), max_value=2**62),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=8), children, max_size=4),
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_property_roundtrip(self, value):
+        decoded, _ = decode_value(encode_value(value))
+        assert decoded == value
+
+
+class TestMessages:
+    def test_message_roundtrip_through_wire(self):
+        message = SampleRequest(
+            address="addr1", distribution=Uniform(0, 1).to_dict(), name="x", control=True, replace=False
+        )
+        decoded = decode_message(encode_message(message))
+        assert isinstance(decoded, SampleRequest)
+        assert decoded.address == "addr1"
+        assert decoded.distribution["type"] == "Uniform"
+
+    def test_all_message_kinds_roundtrip(self):
+        messages = [
+            Handshake(system_name="sherpa", model_name="tau"),
+            HandshakeResult(accepted=True),
+            Run(observation=[1.0, 2.0]),
+            RunResult(result=3.0, success=True),
+            SampleRequest(address="a", distribution=Normal(0, 1).to_dict()),
+            SampleResult(value=0.5),
+            ObserveRequest(address="b", distribution=Normal(0, 1).to_dict(), value=1.0),
+            ShutdownRequest(),
+        ]
+        for message in messages:
+            decoded = decode_message(encode_message(message))
+            assert type(decoded) is type(message)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            message_from_dict({"kind": "NotAMessage"})
+
+    def test_array_observation_roundtrip(self):
+        message = Run(observation=np.ones((2, 3)))
+        decoded = decode_message(encode_message(message))
+        assert np.allclose(np.asarray(decoded.observation), 1.0)
+
+
+class TestAddressBuilder:
+    def test_deterministic_across_calls_from_same_site(self):
+        builder = AddressBuilder()
+
+        def call_site():
+            return builder.build(skip_frames=1)
+
+        assert call_site() == call_site()
+
+    def test_different_sites_give_different_addresses(self):
+        builder = AddressBuilder()
+
+        def site_a():
+            return builder.build(skip_frames=1)
+
+        def site_b():
+            return builder.build(skip_frames=1)
+
+        assert site_a() != site_b()
+
+    def test_explicit_address_short_circuits(self):
+        builder = AddressBuilder()
+        assert builder.build(explicit="my/address") == "my/address"
+
+    def test_cache_hits_accumulate(self):
+        builder = AddressBuilder(use_cache=True)
+
+        def call_site():
+            return builder.build(skip_frames=1)
+
+        call_site()
+        misses_after_first = builder.cache_misses
+        for _ in range(5):
+            call_site()
+        assert builder.cache_hits > 0
+        assert builder.cache_misses == misses_after_first
+
+    def test_cache_disabled_never_hits(self):
+        builder = AddressBuilder(use_cache=False)
+
+        def call_site():
+            return builder.build(skip_frames=1)
+
+        for _ in range(3):
+            call_site()
+        assert builder.cache_hits == 0
+        assert builder.cache_misses > 0
+
+    def test_cache_gives_same_addresses_as_uncached(self):
+        cached, uncached = AddressBuilder(use_cache=True), AddressBuilder(use_cache=False)
+
+        def call_site(builder):
+            return builder.build(skip_frames=1)
+
+        assert call_site(cached) == call_site(uncached)
+
+    def test_clear_cache(self):
+        builder = AddressBuilder()
+
+        def call_site():
+            return builder.build(skip_frames=1)
+
+        call_site()
+        builder.clear_cache()
+        assert builder.cache_hits == 0 and builder.cache_misses == 0
+
+
+class TestTransports:
+    def test_queue_pair_exchanges_messages(self):
+        ppl_side, sim_side = make_queue_pair()
+        ppl_side.send(Run(observation=1.0))
+        received = sim_side.receive(timeout=1.0)
+        assert isinstance(received, Run)
+        sim_side.send(RunResult(result=2.0))
+        reply = ppl_side.receive(timeout=1.0)
+        assert isinstance(reply, RunResult) and reply.result == pytest.approx(2.0)
+        assert ppl_side.bytes_sent > 0 and sim_side.bytes_received > 0
+
+    def test_queue_timeout_raises(self):
+        ppl_side, _ = make_queue_pair()
+        with pytest.raises(queue.Empty):
+            ppl_side.receive(timeout=0.01)
+
+    def test_tcp_transport_roundtrip(self):
+        server_socket, port = listen_tcp()
+        results = {}
+
+        def server_thread():
+            connection, _ = server_socket.accept()
+            transport = SocketTransport(connection)
+            message = transport.receive()
+            results["received"] = message
+            transport.send(SampleResult(value=np.array([1.0, 2.0])))
+            transport.close()
+
+        thread = threading.Thread(target=server_thread)
+        thread.start()
+        client = connect_tcp("127.0.0.1", port)
+        client.send(SampleRequest(address="site", distribution=Normal(0, 1).to_dict()))
+        reply = client.receive(timeout=5.0)
+        thread.join(timeout=5.0)
+        server_socket.close()
+        client.close()
+        assert isinstance(results["received"], SampleRequest)
+        assert isinstance(reply, SampleResult)
+        assert np.allclose(np.asarray(reply.value), [1.0, 2.0])
+
+    def test_socket_closed_by_peer_raises(self):
+        server_socket, port = listen_tcp()
+
+        def server_thread():
+            connection, _ = server_socket.accept()
+            connection.close()
+
+        thread = threading.Thread(target=server_thread)
+        thread.start()
+        client = connect_tcp("127.0.0.1", port)
+        thread.join(timeout=5.0)
+        server_socket.close()
+        with pytest.raises(ConnectionError):
+            client.receive(timeout=2.0)
+        client.close()

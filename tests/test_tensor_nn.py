@@ -1,0 +1,219 @@
+"""Tests for the NN module system: modules, layers, containers, LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor import nn
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(3, 2)
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_nested_module_names(self):
+        net = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        names = [name for name, _ in net.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert all(not module.training for module in net.modules())
+        net.train()
+        assert all(module.training for module in net.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(3, 2)
+        b = nn.Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+        assert np.allclose(a.bias.data, b.bias.data)
+
+    def test_state_dict_strict_mismatch_raises(self):
+        a = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        assert np.allclose(nn.ReLU()(x).data, [[0.0, 2.0]])
+        assert np.allclose(nn.Tanh()(x).data, np.tanh([[-1.0, 2.0]]))
+        assert np.allclose(nn.Sigmoid()(x).data, 1 / (1 + np.exp([[1.0, -2.0]])))
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+
+    def test_dropout_module_respects_training_flag(self):
+        layer = nn.Dropout(0.5)
+        x = Tensor(np.ones((50, 50)))
+        layer.eval()
+        assert np.allclose(layer(x).data, 1.0)
+        layer.train()
+        assert not np.allclose(layer(x).data, 1.0)
+
+    def test_embedding_lookup_and_gradient(self):
+        emb = nn.Embedding(5, 3)
+        out = emb(np.array([0, 4, 0]))
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        # Row 0 was used twice, rows 1-3 never.
+        assert np.allclose(emb.weight.grad[1], 0.0)
+        assert np.allclose(emb.weight.grad[0], 2.0)
+
+    def test_conv3d_module_output_shape_helper(self):
+        conv = nn.Conv3d(1, 4, kernel_size=3, padding=1)
+        assert conv.output_shape((8, 8, 8)) == (8, 8, 8)
+        out = conv(Tensor(np.zeros((2, 1, 8, 8, 8))))
+        assert out.shape == (2, 4, 8, 8, 8)
+
+    def test_maxpool3d_module(self):
+        pool = nn.MaxPool3d(2)
+        assert pool.output_shape((8, 8, 8)) == (4, 4, 4)
+        out = pool(Tensor(np.zeros((1, 1, 8, 8, 8))))
+        assert out.shape == (1, 1, 4, 4, 4)
+
+    def test_conv3d_no_bias(self):
+        conv = nn.Conv3d(1, 2, kernel_size=3, bias=False)
+        assert conv.bias is None
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        net = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        out = net(Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+        assert len(net) == 3
+        assert isinstance(net[1], nn.ReLU)
+        assert [type(m).__name__ for m in net] == ["Linear", "ReLU", "Linear"]
+
+    def test_module_list(self):
+        modules = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(modules) == 3
+        assert modules[2].num_parameters() == 6
+        modules.append(nn.Linear(2, 2))
+        assert len(modules) == 4
+        total = sum(m.num_parameters() for m in modules)
+        assert modules.num_parameters() == total
+
+    def test_module_dict_basic(self):
+        d = nn.ModuleDict()
+        d["layer.a"] = nn.Linear(2, 2)
+        d["layer.b"] = nn.Linear(2, 2)
+        assert "layer.a" in d and "layer.b" in d
+        assert len(d) == 2
+        assert list(d.keys()) == ["layer.a", "layer.b"]
+        assert d.get("missing") is None
+        assert d.get("layer.a") is d["layer.a"]
+        assert len(list(d.items())) == 2
+        assert len(list(d.values())) == 2
+
+    def test_module_dict_keys_with_dots_do_not_break_parameter_names(self):
+        d = nn.ModuleDict()
+        d["file.py:fn:12"] = nn.Linear(2, 2)
+        names = [name for name, _ in d.named_parameters()]
+        assert all(name.count(".") == 1 for name in names)
+
+    def test_module_dict_sanitisation_collisions(self):
+        d = nn.ModuleDict()
+        d["a.b"] = nn.Linear(1, 1)
+        d["a_b"] = nn.Linear(1, 1)
+        assert d["a.b"] is not d["a_b"]
+        assert len(d) == 2
+
+
+class TestLSTM:
+    def test_lstm_cell_step_shapes(self):
+        cell = nn.LSTMCell(4, 6)
+        h, c = cell(Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_lstm_stacked_forward(self):
+        lstm = nn.LSTM(4, 6, num_layers=2)
+        seq = [Tensor(np.random.default_rng(i).standard_normal((2, 4))) for i in range(5)]
+        outputs, state = lstm(seq)
+        assert len(outputs) == 5
+        assert outputs[0].shape == (2, 6)
+        assert len(state) == 2
+        assert state[0][0].shape == (2, 6)
+
+    def test_lstm_step_equals_forward(self):
+        lstm = nn.LSTM(3, 5)
+        seq = [Tensor(np.random.default_rng(i).standard_normal((1, 3))) for i in range(4)]
+        outputs, _ = lstm(seq)
+        state = None
+        for i, x in enumerate(seq):
+            out, state = lstm.step(x, state)
+            assert np.allclose(out.data, outputs[i].data)
+
+    def test_lstm_requires_positive_layers(self):
+        with pytest.raises(ValueError):
+            nn.LSTM(3, 5, num_layers=0)
+
+    def test_lstm_gradients_flow_to_all_cells(self):
+        lstm = nn.LSTM(3, 4, num_layers=2)
+        seq = [Tensor(np.random.default_rng(i).standard_normal((2, 3))) for i in range(3)]
+        outputs, _ = lstm(seq)
+        total = outputs[0].sum()
+        for out in outputs[1:]:
+            total = total + (out * out).sum()
+        total.backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_lstm_forgets_with_zero_input(self):
+        lstm = nn.LSTM(2, 3)
+        out1, state = lstm.step(Tensor(np.ones((1, 2))))
+        out2, _ = lstm.step(Tensor(np.ones((1, 2))), state)
+        assert not np.allclose(out1.data, out2.data)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        w = nn.init.xavier_uniform((100, 50))
+        bound = np.sqrt(6.0 / 150)
+        assert np.max(np.abs(w)) <= bound + 1e-12
+
+    def test_kaiming_uniform_shape(self):
+        assert nn.init.kaiming_uniform((8, 4, 3, 3, 3)).shape == (8, 4, 3, 3, 3)
+
+    def test_orthogonal_is_orthogonal(self):
+        w = nn.init.orthogonal((6, 6))
+        assert np.allclose(w @ w.T, np.eye(6), atol=1e-8)
+
+    def test_zeros_and_uniform(self):
+        assert np.allclose(nn.init.zeros((3, 3)), 0.0)
+        u = nn.init.uniform((100,), -2.0, -1.0)
+        assert u.min() >= -2.0 and u.max() <= -1.0

@@ -1,0 +1,186 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, nn, optim
+
+
+def make_regression(seed=0, n=64):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 3))
+    true_w = np.array([[1.5, -2.0, 0.5]])
+    y = x @ true_w.T + 0.3
+    return x, y
+
+
+def fit(optimizer_factory, iterations=300, seed=0):
+    x, y = make_regression(seed)
+    layer = nn.Linear(3, 1)
+    opt = optimizer_factory(layer)
+    for _ in range(iterations):
+        opt.zero_grad()
+        loss = F.mse_loss(layer(Tensor(x)), Tensor(y))
+        loss.backward()
+        opt.step()
+    return float(loss.item()), layer
+
+
+class TestSGD:
+    def test_plain_sgd_converges(self):
+        loss, _ = fit(lambda m: optim.SGD(m.parameters(), lr=0.05), iterations=500)
+        assert loss < 1e-3
+
+    def test_momentum_speeds_convergence(self):
+        loss_plain, _ = fit(lambda m: optim.SGD(m.parameters(), lr=0.01), iterations=100)
+        loss_momentum, _ = fit(lambda m: optim.SGD(m.parameters(), lr=0.01, momentum=0.9), iterations=100)
+        assert loss_momentum < loss_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        _, no_decay = fit(lambda m: optim.SGD(m.parameters(), lr=0.05), iterations=200)
+        _, decay = fit(lambda m: optim.SGD(m.parameters(), lr=0.05, weight_decay=0.5), iterations=200)
+        assert np.linalg.norm(decay.weight.data) < np.linalg.norm(no_decay.weight.data)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=-1.0)
+
+    def test_skips_parameters_without_gradients(self):
+        layer = nn.Linear(2, 2)
+        opt = optim.SGD(layer.parameters(), lr=0.1)
+        before = layer.weight.data.copy()
+        opt.step()  # no gradients computed
+        assert np.allclose(layer.weight.data, before)
+
+
+class TestAdam:
+    def test_adam_converges(self):
+        loss, layer = fit(lambda m: optim.Adam(m.parameters(), lr=0.05), iterations=400)
+        assert loss < 1e-4
+        assert np.allclose(layer.weight.data, [[1.5, -2.0, 0.5]], atol=0.02)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            optim.Adam([], lr=0.1, betas=(1.0, 0.9))
+
+    def test_named_parameter_construction(self):
+        layer = nn.Linear(2, 2)
+        opt = optim.Adam(list(layer.named_parameters()), lr=0.1)
+        assert opt._names == ["weight", "bias"]
+
+    def test_add_param_group_registers_new_parameters(self):
+        layer = nn.Linear(2, 2)
+        opt = optim.Adam(layer.parameters(), lr=0.1)
+        extra = nn.Linear(2, 2)
+        opt.add_param_group(extra.parameters(), ["extra.weight", "extra.bias"])
+        assert len(opt.params) == 4
+
+    def test_step_count_increments(self):
+        layer = nn.Linear(1, 1)
+        opt = optim.Adam(layer.parameters(), lr=0.1)
+        loss = F.mse_loss(layer(Tensor(np.ones((2, 1)))), Tensor(np.zeros((2, 1))))
+        loss.backward()
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+
+class TestLARC:
+    def test_larc_wraps_adam_and_converges(self):
+        # LARC's layer-wise trust ratio slows tiny (1-element) layers such as
+        # the bias here, so the tolerance is looser than for plain Adam.
+        loss, _ = fit(lambda m: optim.LARC(optim.Adam(m.parameters(), lr=0.05)), iterations=500)
+        assert loss < 0.2
+
+    def test_larc_wraps_sgd(self):
+        loss, _ = fit(lambda m: optim.LARC(optim.SGD(m.parameters(), lr=0.5), trust_coefficient=0.1), iterations=500)
+        assert loss < 0.5
+
+    def test_larc_clip_limits_effective_rate(self):
+        # With clipping, the per-layer effective LR never exceeds the global LR:
+        # a single step moves parameters by at most lr * ||update||.
+        layer = nn.Linear(4, 4)
+        opt = optim.LARC(optim.SGD(layer.parameters(), lr=0.01), trust_coefficient=100.0, clip=True)
+        before = layer.weight.data.copy()
+        loss = F.mse_loss(layer(Tensor(np.ones((2, 4)))), Tensor(np.zeros((2, 4))))
+        loss.backward()
+        grad_norm = np.linalg.norm(layer.weight.grad)
+        opt.step()
+        step_norm = np.linalg.norm(layer.weight.data - before)
+        assert step_norm <= 0.01 * grad_norm + 1e-12
+
+    def test_larc_exposes_lr_property(self):
+        layer = nn.Linear(2, 2)
+        larc = optim.LARC(optim.Adam(layer.parameters(), lr=0.1))
+        assert larc.lr == pytest.approx(0.1)
+        larc.lr = 0.01
+        assert larc.base.lr == pytest.approx(0.01)
+
+    def test_larc_add_param_group(self):
+        layer = nn.Linear(2, 2)
+        larc = optim.LARC(optim.Adam(layer.parameters(), lr=0.1))
+        larc.add_param_group(nn.Linear(2, 2).parameters())
+        assert len(larc.params) == 4
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return optim.SGD(nn.Linear(1, 1).parameters(), lr=lr)
+
+    def test_constant(self):
+        opt = self._optimizer(0.5)
+        sched = optim.ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_multistep_decay(self):
+        opt = self._optimizer(1.0)
+        sched = optim.MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_polynomial_decay_order2_matches_formula(self):
+        opt = self._optimizer(5.7e-4)
+        sched = optim.PolynomialDecayLR(opt, total_steps=100, end_lr=2e-5, power=2.0)
+        for _ in range(50):
+            sched.step()
+        expected = 2e-5 + (5.7e-4 - 2e-5) * (1 - 0.5) ** 2
+        assert opt.lr == pytest.approx(expected)
+        for _ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(2e-5)
+
+    def test_polynomial_decay_is_monotone(self):
+        opt = self._optimizer(1e-3)
+        sched = optim.PolynomialDecayLR(opt, total_steps=20, end_lr=1e-5, power=1.0)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_polynomial_requires_positive_steps(self):
+        with pytest.raises(ValueError):
+            optim.PolynomialDecayLR(self._optimizer(), total_steps=0)
+
+    def test_current_lr_property(self):
+        opt = self._optimizer(0.3)
+        sched = optim.ConstantLR(opt)
+        sched.step()
+        assert sched.current_lr == pytest.approx(0.3)
+
+
+class TestLearningRateScaling:
+    def test_modes(self):
+        base = 1e-3
+        assert optim.scale_learning_rate(base, 4, "linear") == pytest.approx(4e-3)
+        assert optim.scale_learning_rate(base, 4, "sqrt") == pytest.approx(2e-3)
+        assert optim.scale_learning_rate(base, 4, "none") == pytest.approx(base)
+        subsqrt = optim.scale_learning_rate(base, 4, "subsqrt")
+        assert base < subsqrt < optim.scale_learning_rate(base, 4, "sqrt")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optim.scale_learning_rate(1e-3, 0, "linear")
+        with pytest.raises(ValueError):
+            optim.scale_learning_rate(1e-3, 4, "bogus")
