@@ -1,4 +1,5 @@
-"""Distributed training: communicators, allreduce, trainer, performance model."""
+"""Distributed training and inference: communicators, allreduce, trainer,
+performance model, and the per-rank batched importance-sampling driver."""
 
 from repro.distributed.backend import (
     Communicator,
@@ -27,6 +28,7 @@ from repro.distributed.performance_model import (
 )
 from repro.distributed.trainer import DistributedTrainer, TrainingReport
 from repro.distributed.load_balance import SchemeEvaluation, compare_schemes, evaluate_scheme
+from repro.distributed.inference import distributed_importance_sampling, partition_traces
 
 __all__ = [
     "Communicator",
@@ -53,4 +55,6 @@ __all__ = [
     "SchemeEvaluation",
     "compare_schemes",
     "evaluate_scheme",
+    "distributed_importance_sampling",
+    "partition_traces",
 ]

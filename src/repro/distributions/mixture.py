@@ -4,11 +4,20 @@ The IC proposal for a continuous latent variable is a mixture of truncated
 normals; :class:`Mixture` provides the generic numpy-side machinery (sampling,
 stable log-density via logsumexp, moments).  The differentiable counterpart
 used during NN training lives in :mod:`repro.ppl.nn.proposals`.
+
+Because a fresh proposal mixture is scored for *every* latent draw of every
+guided execution, ``log_prob`` is on the inference hot path.  Homogeneous
+mixtures of scalar :class:`Normal` / :class:`TruncatedNormal` components (the
+shape every continuous proposal layer emits) therefore stack their component
+parameters at construction time and evaluate the whole mixture density in one
+vectorized pass instead of looping over component objects; ``sample(size=...)``
+similarly groups draws by chosen component.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 from scipy.special import logsumexp
@@ -19,8 +28,12 @@ from repro.distributions.distribution import (
     distribution_from_dict,
     register_distribution,
 )
+from repro.distributions.normal import Normal
+from repro.distributions.truncated_normal import TruncatedNormal
 
 __all__ = ["Mixture"]
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
 
 
 @register_distribution
@@ -42,6 +55,37 @@ class Mixture(Distribution):
         self.weights = weights_arr / total
         self._log_weights = np.log(np.clip(self.weights, 1e-300, None))
         self.discrete = all(c.discrete for c in self.components)
+        self._fast_params = self._stack_normal_family_parameters()
+
+    def _stack_normal_family_parameters(self) -> Optional[Dict[str, Any]]:
+        """Stacked component parameters for the vectorized density fast path.
+
+        Applies to homogeneous mixtures of scalar Normal or TruncatedNormal
+        components — the shape produced by every continuous proposal layer.
+        Returns ``None`` for heterogeneous/vector mixtures, which fall back to
+        the generic per-component loop.
+        """
+        kinds = {type(c) for c in self.components}
+        if kinds == {TruncatedNormal}:
+            scales = np.array([c.scale for c in self.components])
+            return {
+                "locs": np.array([c.loc for c in self.components]),
+                "scales": scales,
+                "log_scales": np.log(scales),
+                "log_zs": np.array([c._log_z for c in self.components]),
+                "lows": np.array([c.low for c in self.components]),
+                "highs": np.array([c.high for c in self.components]),
+                "truncated": True,
+            }
+        if kinds == {Normal} and all(c.loc.ndim == 0 and c.scale.ndim == 0 for c in self.components):
+            scales = np.array([float(c.scale) for c in self.components])
+            return {
+                "locs": np.array([float(c.loc) for c in self.components]),
+                "scales": scales,
+                "log_scales": np.log(scales),
+                "truncated": False,
+            }
+        return None
 
     def sample(self, rng: Optional[RandomState] = None, size=None):
         generator = self._rng(rng)
@@ -50,11 +94,28 @@ class Mixture(Distribution):
             return self.components[index].sample(rng)
         size_int = int(np.prod(size)) if not np.isscalar(size) else int(size)
         indices = generator.choice(len(self.components), size=size_int, p=self.weights)
-        draws = np.array([self.components[i].sample(rng) for i in indices], dtype=float)
+        # Group draws by chosen component so each component samples once,
+        # vectorized, instead of once per draw.
+        draws = np.empty(size_int, dtype=float)
+        for index in np.unique(indices):
+            chosen = indices == index
+            draws[chosen] = np.asarray(
+                self.components[int(index)].sample(rng, size=int(chosen.sum())), dtype=float
+            ).reshape(-1)
         return draws.reshape(size)
 
     def log_prob(self, value) -> np.ndarray:
         value = np.asarray(value, dtype=float)
+        fast = self._fast_params
+        if fast is not None:
+            expanded = value[..., None]
+            z = (expanded - fast["locs"]) / fast["scales"]
+            log_pdf = -0.5 * z * z - fast["log_scales"] - _LOG_SQRT_2PI
+            if fast["truncated"]:
+                log_pdf = log_pdf - fast["log_zs"]
+                inside = (expanded >= fast["lows"]) & (expanded <= fast["highs"])
+                log_pdf = np.where(inside, log_pdf, -np.inf)
+            return logsumexp(self._log_weights + log_pdf, axis=-1)
         log_terms = np.stack(
             [lw + np.asarray(c.log_prob(value), dtype=float) for lw, c in zip(self._log_weights, self.components)],
             axis=0,

@@ -24,6 +24,8 @@ class Normal(Distribution):
         self.scale = np.asarray(scale, dtype=float)
         if np.any(self.scale <= 0):
             raise ValueError("scale must be positive")
+        # log_prob runs once per latent draw per execution; cache the constant.
+        self._log_scale = np.log(self.scale)
 
     def sample(self, rng: Optional[RandomState] = None, size=None):
         return self._rng(rng).normal(self.loc, self.scale, size=size)
@@ -31,7 +33,7 @@ class Normal(Distribution):
     def log_prob(self, value) -> np.ndarray:
         value = np.asarray(value, dtype=float)
         z = (value - self.loc) / self.scale
-        return -0.5 * z * z - np.log(self.scale) - _LOG_SQRT_2PI
+        return -0.5 * z * z - self._log_scale - _LOG_SQRT_2PI
 
     def cdf(self, value) -> np.ndarray:
         value = np.asarray(value, dtype=float)

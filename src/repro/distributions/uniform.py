@@ -21,6 +21,8 @@ class Uniform(Distribution):
         self.high = float(high)
         if not self.high > self.low:
             raise ValueError("high must be greater than low")
+        # log_prob runs once per latent draw per execution; cache the constant.
+        self._log_density = -np.log(self.high - self.low)
 
     def sample(self, rng: Optional[RandomState] = None, size=None):
         return self._rng(rng).uniform(self.low, self.high, size=size)
@@ -28,8 +30,7 @@ class Uniform(Distribution):
     def log_prob(self, value) -> np.ndarray:
         value = np.asarray(value, dtype=float)
         inside = (value >= self.low) & (value <= self.high)
-        log_density = -np.log(self.high - self.low)
-        return np.where(inside, log_density, -np.inf)
+        return np.where(inside, self._log_density, -np.inf)
 
     @property
     def mean(self):

@@ -35,23 +35,40 @@ class Empirical:
         if log_weights is None:
             log_weights_arr = np.zeros(len(self.values))
         else:
-            log_weights_arr = np.asarray(log_weights, dtype=float)
+            log_weights_arr = np.array(log_weights, dtype=float)
         if len(self.values) != log_weights_arr.shape[0]:
             raise ValueError("values and log_weights must have the same length")
         if len(self.values) == 0:
             raise ValueError("an Empirical distribution needs at least one value")
+        # Summaries are cached, so the weights they derive from must not change
+        # underneath them: freeze our (private copy of the) weights array so an
+        # in-place edit raises instead of silently staling the caches.
+        log_weights_arr.setflags(write=False)
         self.log_weights = log_weights_arr
         self.name = name
+        # Summaries (mean/variance/quantile/histogram/...) all need the
+        # numeric projection and the normalized weights; both are cached so a
+        # battery of summaries over a large posterior pays the O(N) conversion
+        # once.  Instances are treated as immutable after construction.
+        self._numeric_cache: Optional[np.ndarray] = None
+        self._normalized_cache: Optional[np.ndarray] = None
 
     # --------------------------------------------------------------- weights
     @property
     def normalized_weights(self) -> np.ndarray:
-        finite = np.where(np.isfinite(self.log_weights), self.log_weights, -np.inf)
-        if np.all(~np.isfinite(finite)):
-            # All weights are zero: fall back to uniform to stay usable.
-            return np.full(len(self.values), 1.0 / len(self.values))
-        log_norm = logsumexp(finite)
-        return np.exp(finite - log_norm)
+        if self._normalized_cache is None:
+            finite = np.where(np.isfinite(self.log_weights), self.log_weights, -np.inf)
+            if np.all(~np.isfinite(finite)):
+                # All weights are zero: fall back to uniform to stay usable.
+                cache = np.full(len(self.values), 1.0 / len(self.values))
+            else:
+                log_norm = logsumexp(finite)
+                cache = np.exp(finite - log_norm)
+            # The cache is shared across summaries; freeze it so an in-place
+            # edit by a caller raises instead of silently corrupting them.
+            cache.setflags(write=False)
+            self._normalized_cache = cache
+        return self._normalized_cache
 
     @property
     def log_evidence(self) -> float:
@@ -87,7 +104,13 @@ class Empirical:
         return Empirical(values, log_weights, name=f"{self.name}.{name}")
 
     def _numeric(self) -> np.ndarray:
-        return np.asarray([float(np.asarray(v, dtype=float).reshape(-1)[0]) for v in self.values])
+        if self._numeric_cache is None:
+            cache = np.asarray(
+                [float(np.asarray(v, dtype=float).reshape(-1)[0]) for v in self.values]
+            )
+            cache.setflags(write=False)
+            self._numeric_cache = cache
+        return self._numeric_cache
 
     # --------------------------------------------------------------- summaries
     @property
@@ -111,9 +134,39 @@ class Empirical:
         return float(result[0]) if np.isscalar(q) else result
 
     def mode(self):
-        """The value with the largest weight (MAP over the empirical support)."""
-        index = int(np.argmax(self.log_weights))
-        return self.values[index]
+        """The value with the largest *total* weight (MAP over the empirical support).
+
+        Duplicate values — resampled empiricals, discrete latents — have
+        their weights aggregated per unique value before the argmax, so the
+        MAP reflects total probability mass, not the single heaviest trace.
+        Values that cannot be keyed (multi-element arrays) aggregate by
+        identity, which still collapses the duplicates that resampling
+        introduces.
+        """
+        weights = self.normalized_weights
+        totals: Dict[Any, float] = {}
+        representatives: Dict[Any, Any] = {}
+        for value, weight in zip(self.values, weights):
+            if isinstance(value, (str, bool)):
+                key: Any = value
+            else:
+                try:
+                    key = np.asarray(value).item()
+                except (TypeError, ValueError):
+                    key = id(value)
+                else:
+                    try:
+                        hash(key)
+                    except TypeError:
+                        # item() handed back an unhashable object (dict, list):
+                        # aggregate by identity, as for multi-element arrays.
+                        key = id(value)
+            if key not in totals:
+                totals[key] = 0.0
+                representatives[key] = value
+            totals[key] += float(weight)
+        best = max(totals, key=totals.__getitem__)
+        return representatives[best]
 
     def histogram(self, bins: int = 20, range_: Optional[Tuple[float, float]] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Weighted histogram: returns (densities, bin_edges)."""

@@ -1,6 +1,8 @@
-"""Inference engines: importance sampling, RMH/LMH MCMC, IC, and diagnostics."""
+"""Inference engines: importance sampling (sequential and batched lockstep),
+RMH/LMH MCMC, IC, and diagnostics."""
 
-from repro.ppl.inference import diagnostics, importance_sampling, random_walk_metropolis
+from repro.ppl.inference import batched, diagnostics, importance_sampling, random_walk_metropolis
+from repro.ppl.inference.batched import batched_importance_sampling, per_trace_rngs
 from repro.ppl.inference.importance_sampling import importance_sampling as run_importance_sampling
 from repro.ppl.inference.random_walk_metropolis import RandomWalkMetropolis
 from repro.ppl.inference.inference_compilation import InferenceCompilation, TrainingHistory
@@ -12,6 +14,9 @@ from repro.ppl.inference.diagnostics import (
 )
 
 __all__ = [
+    "batched",
+    "batched_importance_sampling",
+    "per_trace_rngs",
     "diagnostics",
     "importance_sampling",
     "random_walk_metropolis",

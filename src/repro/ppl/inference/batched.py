@@ -1,0 +1,352 @@
+"""Batched guided-execution importance sampling (the lockstep IC engine).
+
+Amortized inference turns posterior sampling into an embarrassingly parallel
+importance-sampling run, but the sequential engine still steps the inference
+network at batch size 1: one observation embedding, one LSTM step and one
+proposal forward **per trace per address**.  This module batches all of that
+across a *cohort* of B simultaneous executions:
+
+1. the cohort's B model executions each run in their own worker thread and
+   suspend at every controlled draw;
+2. a coordinator collects the suspended draws of one lockstep round, groups
+   them by address, and answers each group with **one** batched step of the
+   :class:`repro.ppl.nn.inference_network.BatchedProposalSession`;
+3. each execution resumes, samples from its per-trace proposal using its own
+   deterministic random stream, and runs until its next draw (or finishes).
+
+Divergence-fallback semantics: traces that request *different* addresses in
+the same round are stepped as separate per-address sub-batches (a sub-batch
+of size 1 is plain per-trace stepping), and traces that finish early simply
+drop out of the cohort — so arbitrarily branching models are supported, with
+lockstep models getting the full batching win.
+
+Randomness: every trace gets its own child stream derived from the master
+``rng`` (:func:`per_trace_rngs`), so results are independent of the cohort
+partitioning — ``batch_size=1`` (the sequential :class:`ProposalSession`
+reference) and ``batch_size=64`` produce the same traces up to floating-point
+batching effects, which is what the equivalence tests assert.
+
+Importance weights use the ``ExecutionState``-level accounting
+``log w = log p(x, y) - log q(x)`` with ``log q`` accumulated over *all*
+latent draws (controlled and uncontrolled), so the prior terms of
+uncontrolled draws cancel exactly against ``log_joint``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import RandomState, get_rng
+from repro.ppl.empirical import Empirical
+from repro.ppl.model import RemoteModel
+from repro.ppl.state import PriorController, ProposalController
+from repro.trace.trace import Trace
+
+__all__ = ["batched_importance_sampling", "per_trace_rngs"]
+
+
+def per_trace_rngs(rng: RandomState, num_traces: int) -> List[RandomState]:
+    """Derive one independent child random stream per trace (or per rank).
+
+    One draw is consumed from ``rng`` so repeated calls yield fresh streams;
+    beyond that the child streams are a pure function of (master seed, trace
+    index), which makes inference results independent of how traces are
+    partitioned into cohorts.  The distributed driver uses the same scheme to
+    derive per-rank streams.
+    """
+    base = int(rng.generator.integers(0, 2**31 - 1))
+    return [rng.spawn(base + index) for index in range(num_traces)]
+
+
+class _LockstepCoordinator:
+    """Suspends worker executions at controlled draws and answers them in batch.
+
+    Round protocol: every live worker posts exactly one message per round —
+    either a proposal request (then blocks on its event) or "done".  Once all
+    live workers have been heard from, the pending requests are answered with
+    one :meth:`BatchedProposalSession.proposals` call and the requesting
+    workers are released for the next round.
+    """
+
+    def __init__(self, session, num_workers: int) -> None:
+        self.session = session
+        self.num_workers = num_workers
+        self._queue: "queue.Queue[Tuple[str, int, Any, Any, Any]]" = queue.Queue()
+        self._events = [threading.Event() for _ in range(num_workers)]
+        self._responses: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------ worker side
+    def request(self, slot: int, address: str, prior, previous_value):
+        """Called from a worker thread; blocks until the round is answered."""
+        self._queue.put(("request", slot, address, prior, previous_value))
+        event = self._events[slot]
+        event.wait()
+        event.clear()
+        return self._responses.pop(slot)
+
+    def finished(self, slot: int) -> None:
+        self._queue.put(("done", slot, None, None, None))
+
+    # ------------------------------------------------------------ driver side
+    def serve(self, threads: Optional[Sequence[threading.Thread]] = None) -> None:
+        """Run rounds until every worker has finished.
+
+        ``threads`` enables a liveness check: a worker that died without ever
+        reaching its ``finally`` (interpreter-level failure) is treated as
+        done instead of deadlocking the round.
+        """
+        outstanding = set(range(self.num_workers))
+        pending: List[Tuple[int, str, Any, Any]] = []
+        try:
+            while outstanding:
+                try:
+                    kind, slot, address, prior, previous_value = self._queue.get(timeout=5.0)
+                except queue.Empty:
+                    # Workers blocked on their event are alive by construction;
+                    # only a worker that died before reaching its ``finally``
+                    # can leave outstanding non-empty forever.
+                    if threads is not None:
+                        outstanding -= {s for s in outstanding if not threads[s].is_alive()}
+                else:
+                    outstanding.discard(slot)
+                    if kind == "request":
+                        pending.append((slot, address, prior, previous_value))
+                if not outstanding and pending:
+                    responses = self.session.proposals(pending)
+                    outstanding = {s for s, _, _, _ in pending}
+                    pending = []
+                    for request_slot, proposal in responses.items():
+                        self._responses[request_slot] = proposal
+                        self._events[request_slot].set()
+        except BaseException:
+            # A driver-side failure (e.g. inside the network forward) must not
+            # leave workers blocked forever: release every suspended worker
+            # with a prior fallback, drain the cohort to completion, re-raise.
+            for request_slot, _, _, _ in pending:
+                outstanding.add(request_slot)
+                self._responses[request_slot] = None
+                self._events[request_slot].set()
+            while outstanding:
+                try:
+                    kind, slot, _, _, _ = self._queue.get(timeout=5.0)
+                except queue.Empty:
+                    if threads is not None:
+                        outstanding -= {s for s in outstanding if not threads[s].is_alive()}
+                    continue
+                if kind == "request":
+                    self._responses[slot] = None
+                    self._events[slot].set()
+                else:
+                    outstanding.discard(slot)
+            raise
+
+
+class _TrackingProposalController(ProposalController):
+    """A ProposalController that records the last *controlled* value drawn.
+
+    The previous-sample embedding must be fed the value of the most recent
+    controlled draw — training steps the LSTM over controlled draws only, so
+    an uncontrolled (``control=False``) value would be encoded under the
+    wrong prior.  Recording it here (every controlled draw passes through
+    :meth:`choose`) works for local models *and* for :class:`RemoteModel`,
+    whose guided executions have no local ``ExecutionState`` to read a trace
+    from.
+
+    ``request(address, prior, previous_value)`` returns the proposal
+    distribution (or ``None`` for the prior fallback).
+    """
+
+    def __init__(self, request: Callable) -> None:
+        super().__init__(self._provide)
+        self._request = request
+        self.previous_controlled_value: Any = None
+
+    def _provide(self, address, instance, prior, state):
+        return self._request(address, prior, self.previous_controlled_value)
+
+    def choose(self, address, instance, distribution, name, rng):
+        value, log_q = super().choose(address, instance, distribution, name, rng)
+        self.previous_controlled_value = value
+        return value, log_q
+
+
+def _worker(model, observation, coordinator, slot, rng, traces, errors) -> None:
+    try:
+        controller = _TrackingProposalController(
+            lambda address, prior, previous_value: coordinator.request(
+                slot, address, prior, previous_value
+            )
+        )
+        traces[slot] = model.get_trace(controller, observed_values=observation, rng=rng)
+    except BaseException as exc:  # noqa: BLE001 - re-raised by the driver
+        errors[slot] = exc
+    finally:
+        coordinator.finished(slot)
+
+
+def _run_cohort(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
+    """Execute one cohort of ``len(rngs)`` guided executions in lockstep."""
+    size = len(rngs)
+    session = network.batched_session(observation_array, size)
+    coordinator = _LockstepCoordinator(session, size)
+    traces: List[Optional[Trace]] = [None] * size
+    errors: List[Optional[BaseException]] = [None] * size
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(model, observation, coordinator, slot, rngs[slot], traces, errors),
+            name=f"batched-is-worker-{slot}",
+            daemon=True,
+        )
+        for slot in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    coordinator.serve(threads)
+    for thread in threads:
+        thread.join()
+    for error in errors:
+        if error is not None:
+            raise error
+    stats["num_proposal_steps"] += session.num_steps
+    stats["num_fallbacks"] += session.num_fallbacks
+    stats["num_rounds"] += session.num_rounds
+    stats["num_batched_steps"] += session.num_batched_steps
+    stats["num_divergent_rounds"] += session.num_divergent_rounds
+    return traces  # type: ignore[return-value]
+
+
+def _run_sequential(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
+    """The sequential reference path: one ProposalSession per trace."""
+    traces: List[Trace] = []
+    for rng in rngs:
+        session = network.inference_session(observation_array)
+        controller = _TrackingProposalController(
+            lambda address, prior, previous_value, _session=session: _session.proposal(
+                address, prior, previous_value
+            )
+        )
+        traces.append(model.get_trace(controller, observed_values=observation, rng=rng))
+        stats["num_proposal_steps"] += session.num_steps
+        stats["num_fallbacks"] += session.num_fallbacks
+    return traces
+
+
+def batched_importance_sampling(
+    model,
+    observation: Dict[str, Any],
+    num_traces: int = 1000,
+    batch_size: int = 64,
+    network=None,
+    observe_key: Optional[str] = None,
+    rng: Optional[RandomState] = None,
+    trace_callback: Optional[Callable[[Trace, float], None]] = None,
+) -> Empirical:
+    """Run importance sampling with cohorts of lockstep guided executions.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.ppl.model.Model`.
+    observation:
+        Mapping from observe-statement name to the observed value y.
+    num_traces:
+        Total number of simulator executions.
+    batch_size:
+        Cohort size B.  Traces are partitioned into ``ceil(num_traces / B)``
+        cohorts; ``batch_size=1`` selects the sequential per-trace engine
+        (useful as the equivalence/throughput reference).  Cohort executions
+        run on B worker threads, so ``model.forward`` must not mutate shared
+        state; pass ``batch_size=1`` for non-thread-compatible models
+        (:class:`RemoteModel` is detected and serialized automatically).
+    network:
+        A trained :class:`repro.ppl.nn.inference_network.InferenceNetwork`
+        supplying proposals.  ``None`` falls back to prior proposals
+        (likelihood weighting) with the same per-trace random streams.
+    observe_key:
+        Which entry of ``observation`` feeds the observation embedding
+        (defaults to ``network.observe_key`` or the single entry).
+
+    Returns
+    -------
+    Empirical
+        Weighted posterior over traces.  The engine's counters (fallbacks,
+        batched steps, divergent rounds, cohorts) are attached as the
+        ``engine_stats`` attribute.
+    """
+    if num_traces <= 0:
+        raise ValueError("num_traces must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = rng or get_rng()
+    rngs = per_trace_rngs(rng, num_traces)
+    stats: Dict[str, int] = {
+        "num_cohorts": 0,
+        "num_proposal_steps": 0,
+        "num_fallbacks": 0,
+        "num_rounds": 0,
+        "num_batched_steps": 0,
+        "num_divergent_rounds": 0,
+    }
+
+    observation_array = None
+    if network is not None:
+        key = observe_key or network.observe_key
+        if key is None:
+            if len(observation) != 1:
+                raise ValueError("pass observe_key when conditioning on multiple observes")
+            key = next(iter(observation))
+        if key not in observation:
+            raise ValueError(
+                f"observe_key {key!r} not found in observation (available: {sorted(observation)})"
+            )
+        observation_array = np.asarray(observation[key], dtype=float)
+
+    # A remote simulator multiplexes one PPX transport, so its guided
+    # executions cannot be suspended concurrently; run those per trace.
+    lockstep_capable = not isinstance(model, RemoteModel)
+    traces: List[Trace] = []
+    for start in range(0, num_traces, batch_size):
+        cohort_rngs = rngs[start : start + batch_size]
+        stats["num_cohorts"] += 1
+        if network is None:
+            for cohort_rng in cohort_rngs:
+                traces.append(
+                    model.get_trace(PriorController(), observed_values=observation, rng=cohort_rng)
+                )
+        elif len(cohort_rngs) == 1 or not lockstep_capable:
+            traces.extend(
+                _run_sequential(model, observation, network, observation_array, cohort_rngs, stats)
+            )
+        else:
+            traces.extend(
+                _run_cohort(model, observation, network, observation_array, cohort_rngs, stats)
+            )
+
+    log_weights: List[float] = []
+    for trace in traces:
+        # ExecutionState-level accounting: trace.log_q covers *every* latent
+        # draw (uncontrolled draws contribute their prior density, cancelling
+        # the matching term inside log_joint).
+        log_q = getattr(trace, "log_q", None)
+        if log_q is None:
+            if network is not None:
+                # A silent prior fallback would discard the proposal density
+                # and bias the posterior — refuse instead.
+                raise ValueError(
+                    "model.get_trace did not record trace.log_q; guided "
+                    "importance weights cannot be formed without it"
+                )
+            log_q = trace.log_prior
+        log_weight = trace.log_joint - log_q
+        log_weights.append(log_weight)
+        if trace_callback is not None:
+            trace_callback(trace, log_weight)
+
+    result = Empirical(traces, log_weights, name="batched_importance_sampling_posterior")
+    result.engine_stats = stats
+    return result

@@ -9,8 +9,21 @@ proposal distributions q(x|y) (the IC case), and weight each trace by
 
 When sampling from the prior the prior terms cancel and the weight reduces to
 the likelihood, which is the classic likelihood-weighting special case.
-IS/IC inference is embarrassingly parallel; the distributed driver simply
-merges per-rank :class:`repro.ppl.empirical.Empirical` results.
+
+``log q(x)`` is the *execution-state-level* total accumulated over **all**
+latent draws: controlled draws contribute the density of whatever proposal
+(or prior) the controller chose, and uncontrolled (``control=False``) draws
+contribute their prior density, so their prior terms inside ``log p(x, y)``
+cancel exactly.  Using the controller's controlled-draws-only total instead
+would leave uncontrolled prior terms dangling in the weight — this is the
+accounting both the proposal and prior branches below share via
+``trace.log_q``.
+
+IS/IC inference is embarrassingly parallel; the batched lockstep engine in
+:mod:`repro.ppl.inference.batched` runs cohorts of guided executions through
+the inference network in single batched NN steps, and the distributed driver
+(:mod:`repro.distributed.inference`) simply merges per-rank
+:class:`repro.ppl.empirical.Empirical` results.
 """
 
 from __future__ import annotations
@@ -58,13 +71,22 @@ def importance_sampling(
     log_weights: List[float] = []
     for _ in range(num_traces):
         if proposal_provider is None:
-            controller = PriorController()
-            trace = model.get_trace(controller, observed_values=observation, rng=rng)
-            log_q = getattr(trace, "log_q", trace.log_prior)
+            controller: PriorController | ProposalController = PriorController()
         else:
             controller = ProposalController(proposal_provider)
-            trace = model.get_trace(controller, observed_values=observation, rng=rng)
-            log_q = controller.log_q
+        trace = model.get_trace(controller, observed_values=observation, rng=rng)
+        # Both branches use the same ExecutionState-level accounting: the
+        # trace-wide log_q includes uncontrolled draws' prior densities, which
+        # cancel against the matching prior terms inside log_joint.
+        log_q = getattr(trace, "log_q", None)
+        if log_q is None:
+            # Model subclass that didn't record trace.log_q: reconstruct the
+            # state-level total — controlled draws from the controller,
+            # uncontrolled draws' prior terms from the trace.
+            if isinstance(controller, ProposalController):
+                log_q = controller.log_q + (trace.log_prior - controller.log_prior)
+            else:
+                log_q = trace.log_prior
         log_weight = trace.log_joint - log_q
         traces.append(trace)
         log_weights.append(log_weight)

@@ -21,12 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.common.config import Config, get_config
 from repro.common.rng import RandomState, get_rng
 from repro.ppl.empirical import Empirical
-from repro.ppl.inference.importance_sampling import importance_sampling
+from repro.ppl.inference.batched import batched_importance_sampling
 from repro.ppl.nn.inference_network import InferenceNetwork
 from repro.tensor import optim
 from repro.trace.trace import Trace
@@ -156,32 +154,29 @@ class InferenceCompilation:
         num_traces: int = 100,
         rng: Optional[RandomState] = None,
         observe_key: Optional[str] = None,
+        batch_size: int = 64,
     ) -> Empirical:
         """Amortized inference: importance sampling with NN proposals.
 
         ``observation`` maps observe names to observed values; the entry used
         for the observation embedding is ``observe_key`` (or the single entry).
+
+        Runs through the batched lockstep engine
+        (:func:`repro.ppl.inference.batched.batched_importance_sampling`):
+        cohorts of ``batch_size`` guided executions share one observation
+        embedding and advance through batched LSTM/proposal steps.  Cohort
+        executions run on worker threads, so ``model.forward`` must not
+        mutate shared state; pass ``batch_size=1`` to run strictly
+        sequentially (remote models are serialized automatically).
         """
         rng = rng or self.rng
-        key = observe_key or self.network.observe_key
-        if key is None:
-            if len(observation) != 1:
-                raise ValueError("pass observe_key when conditioning on multiple observes")
-            key = next(iter(observation.keys()))
-        observation_array = np.asarray(observation[key], dtype=float)
-
-        def proposal_provider(address, instance, prior, state):
-            session = state.__dict__.setdefault(
-                "_ic_session", self.network.inference_session(observation_array)
-            )
-            previous_value = state.trace.samples[-1].value if state.trace.samples else None
-            return session.proposal(address, prior, previous_value)
-
-        return importance_sampling(
+        return batched_importance_sampling(
             model,
             observation,
             num_traces=num_traces,
-            proposal_provider=proposal_provider,
+            batch_size=batch_size,
+            network=self.network,
+            observe_key=observe_key,
             rng=rng,
         )
 

@@ -164,8 +164,17 @@ class RemoteModel(Model):
         log_q_total = {"value": 0.0}
 
         def sample_policy(address, distribution, request):
+            # Every draw advances the per-address instance counter (the trace
+            # records all of them), but uncontrolled (control=False) draws
+            # never reach the controller — mirror the local ExecutionState:
+            # draw from the prior and accumulate its density so the matching
+            # prior term in log_joint cancels out of importance weights.
             instance = counts.get(address, 0)
             counts[address] = instance + 1
+            if not getattr(request, "control", True):
+                value = distribution.sample(rng)
+                log_q_total["value"] += float(np.sum(distribution.log_prob(value)))
+                return value
             value, log_q = controller.choose(address, instance, distribution, request.name, rng)
             log_q_total["value"] += log_q
             return value

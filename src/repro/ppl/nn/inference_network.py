@@ -16,6 +16,18 @@ Two entry points matter:
 * :meth:`InferenceNetwork.inference_session` — a stateful helper that walks
   the LSTM step by step during guided execution, producing a proposal
   distribution for every address the simulator requests over PPX.
+* :meth:`InferenceNetwork.batched_session` — the batched counterpart
+  (:class:`BatchedProposalSession`): B guided executions advance in lockstep,
+  sharing one observation embedding and one batched LSTM step per address.
+  When control flow diverges (different traces request different addresses at
+  the same step), the cohort is partitioned into per-address sub-batches, so
+  a group of size 1 degrades gracefully to per-trace stepping.
+
+Information flow during guided execution deliberately matches training: a
+fallback to the prior at an address the network has never seen resets the
+previous-sample embedding to zeros (in both the sessions here and the skipped
+step of :meth:`InferenceNetwork._sub_minibatch_loss`), so trained weights see
+the same inputs at inference time.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from repro.tensor.nn import LSTM, Module, ModuleDict, Parameter
 from repro.tensor.tensor import Tensor
 from repro.trace.trace import Trace
 
-__all__ = ["InferenceNetwork", "ProposalSession"]
+__all__ = ["InferenceNetwork", "ProposalSession", "BatchedProposalSession"]
 
 
 class InferenceNetwork(Module):
@@ -185,7 +197,14 @@ class InferenceNetwork(Module):
             samples_t = [steps[i][t] for i in range(batch)]
             address = samples_t[0].address
             if address not in self.proposal_layers:
-                continue  # discarded address (frozen network)
+                # Discarded address (frozen network): skip the step AND reset
+                # the previous-sample embedding, mirroring the inference-time
+                # sessions which fall back to the prior here and feed zeros
+                # into the next LSTM step.  Carrying the stale embedding would
+                # train the network on an information flow it never sees at
+                # inference time.
+                prev_embed = Tensor(np.zeros((batch, self.sample_dim)))
+                continue
             addr_embed = self.address_embeddings[address](batch)
             lstm_input = Tensor.cat([obs_embed, addr_embed, prev_embed], axis=1)
             hidden, state = self.lstm.step(lstm_input, state)
@@ -203,6 +222,10 @@ class InferenceNetwork(Module):
     def inference_session(self, observation) -> "ProposalSession":
         """Start a guided-execution session for one observation y."""
         return ProposalSession(self, observation)
+
+    def batched_session(self, observation, batch_size: int) -> "BatchedProposalSession":
+        """Start a lockstep session advancing ``batch_size`` executions at once."""
+        return BatchedProposalSession(self, observation, batch_size)
 
     # ------------------------------------------------------------- persistence
     def save(self, path: str) -> None:
@@ -299,3 +322,134 @@ class ProposalSession:
         self._prev_address = address
         self._prev_prior = prior
         return distribution
+
+
+class BatchedProposalSession:
+    """Advances B guided executions in lockstep through the inference network.
+
+    The sequential :class:`ProposalSession` pays the observation embedding,
+    one LSTM step and one proposal-layer forward *per trace per address* at
+    batch size 1.  This session amortizes all three across a cohort of B
+    executions of the same observation:
+
+    * the observation is embedded **once** and its embedding row is shared by
+      every trace in the cohort,
+    * all traces currently requesting the same address advance through **one
+      batched LSTM step**, and
+    * the proposal layer produces the B per-trace proposal distributions in a
+      single batched forward pass.
+
+    Per-trace LSTM state is kept as rows of ``(B, hidden)`` arrays, so when
+    control flow diverges (traces request different addresses at the same
+    step) the cohort is partitioned into per-address groups whose state rows
+    are gathered, stepped and scattered back independently — a group of size
+    1 is exactly per-trace stepping, which is the graceful fallback the
+    divergent case degrades to.  The numerical information flow per trace is
+    identical to :class:`ProposalSession` (zero previous-sample embedding
+    after a prior fallback, no LSTM advance at unknown addresses).
+
+    Drive it through :func:`repro.ppl.inference.batched.batched_importance_sampling`,
+    which suspends B model executions at their controlled draws and answers
+    them through :meth:`proposals`.
+    """
+
+    def __init__(self, network: InferenceNetwork, observation, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.network = network
+        self.batch_size = int(batch_size)
+        observation_arr = np.asarray(observation, dtype=float)
+        with no_grad():
+            embed = network.observation_embedding(Tensor(observation_arr[None, ...]))
+        self._obs_row = embed.data[0]
+        hidden = network.lstm.hidden_size
+        self._h = [np.zeros((self.batch_size, hidden)) for _ in range(network.lstm.num_layers)]
+        self._c = [np.zeros((self.batch_size, hidden)) for _ in range(network.lstm.num_layers)]
+        self._prev_address: List[Optional[str]] = [None] * self.batch_size
+        self._prev_prior: List[Optional[Distribution]] = [None] * self.batch_size
+        self.num_steps = 0
+        self.num_fallbacks = 0
+        self.num_rounds = 0
+        self.num_batched_steps = 0
+        self.num_divergent_rounds = 0
+
+    def proposals(self, requests: Sequence[Tuple[int, str, Distribution, Any]]) -> Dict[int, Optional[Distribution]]:
+        """Answer one lockstep round of proposal requests.
+
+        ``requests`` holds ``(slot, address, prior, previous_value)`` tuples,
+        one per execution currently suspended at a controlled draw.  Returns
+        ``slot -> Distribution`` (or ``None`` for the prior fallback at
+        addresses the network has no layers for).
+        """
+        self.num_rounds += 1
+        self.num_steps += len(requests)
+        groups: Dict[str, List[Tuple[int, Distribution, Any]]] = {}
+        for slot, address, prior, previous_value in requests:
+            groups.setdefault(address, []).append((slot, prior, previous_value))
+        if len(groups) > 1:
+            self.num_divergent_rounds += 1
+        responses: Dict[int, Optional[Distribution]] = {}
+        for address, members in groups.items():
+            if address not in self.network.proposal_layers:
+                # Unseen address: fall back to the prior without advancing the
+                # LSTM, and reset the previous-sample tracking (same semantics
+                # as ProposalSession.proposal).
+                self.num_fallbacks += len(members)
+                for slot, _, _ in members:
+                    responses[slot] = None
+                    self._prev_address[slot] = None
+                    self._prev_prior[slot] = None
+                continue
+            responses.update(self._step_group(address, members))
+        return responses
+
+    def _step_group(
+        self, address: str, members: Sequence[Tuple[int, Distribution, Any]]
+    ) -> Dict[int, Distribution]:
+        """One batched LSTM step + proposal forward for a same-address group."""
+        self.num_batched_steps += 1
+        network = self.network
+        size = len(members)
+        with no_grad():
+            # Previous-sample embeddings: zeros after a fallback / at the first
+            # step, otherwise the (address-specific) embedding of the value
+            # drawn at the previous step.  Rows are sub-batched by previous
+            # address because each previous address owns its own layer.
+            prev_embed = np.zeros((size, network.sample_dim))
+            by_prev: Dict[str, List[int]] = {}
+            for row, (slot, _, previous_value) in enumerate(members):
+                prev_addr = self._prev_address[slot]
+                if previous_value is None or prev_addr is None or prev_addr not in network.sample_embeddings:
+                    continue
+                by_prev.setdefault(prev_addr, []).append(row)
+            for prev_addr, rows in by_prev.items():
+                encoded = np.concatenate(
+                    [
+                        SampleEmbedding.encode_values(
+                            self._prev_prior[members[row][0]], np.asarray([members[row][2]])
+                        )
+                        for row in rows
+                    ],
+                    axis=0,
+                )
+                prev_embed[rows] = network.sample_embeddings[prev_addr](Tensor(encoded)).data
+            addr_embed = network.address_embeddings[address](size).data
+            obs_embed = np.broadcast_to(self._obs_row, (size, self._obs_row.shape[0]))
+            lstm_input = Tensor(np.concatenate([obs_embed, addr_embed, prev_embed], axis=1))
+            slots = [slot for slot, _, _ in members]
+            state = [
+                (Tensor(self._h[layer][slots]), Tensor(self._c[layer][slots]))
+                for layer in range(network.lstm.num_layers)
+            ]
+            hidden, new_state = network.lstm.step(lstm_input, state)
+            for layer, (h, c) in enumerate(new_state):
+                self._h[layer][slots] = h.data
+                self._c[layer][slots] = c.data
+            priors = [prior for _, prior, _ in members]
+            distributions = network.proposal_layers[address].proposal_distributions(hidden, priors)
+        out: Dict[int, Distribution] = {}
+        for (slot, prior, _), distribution in zip(members, distributions):
+            self._prev_address[slot] = address
+            self._prev_prior[slot] = prior
+            out[slot] = distribution
+        return out

@@ -14,12 +14,16 @@ Each proposal layer offers two views of the same parameterisation:
   values given the LSTM hidden state, used in the training loss
   ``-E[log q_phi(x|y)]`` of Algorithm 1, and
 * :meth:`proposal_distribution` — a plain numpy distribution object used at
-  inference time by the importance-sampling controller.
+  inference time by the importance-sampling controller, and
+* :meth:`proposal_distributions` — the batched counterpart used by the
+  lockstep engine (:mod:`repro.ppl.inference.batched`): one forward pass over
+  a ``(B, hidden)`` batch of LSTM outputs yields the B per-trace proposal
+  distributions at the same address.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -49,6 +53,14 @@ class ProposalLayer(Module):
 
     def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
         """A concrete (numpy) proposal distribution for one execution."""
+        return self.proposal_distributions(hidden, [prior])[0]
+
+    def proposal_distributions(self, hidden: Tensor, priors: Sequence[Distribution]) -> List[Distribution]:
+        """Per-trace proposal distributions for a batch of guided executions.
+
+        ``hidden`` is ``(B, hidden_dim)`` and ``priors`` holds the B priors at
+        the shared address (their parameters may differ per trace).
+        """
         raise NotImplementedError
 
 
@@ -134,18 +146,33 @@ class ProposalNormalMixture(ProposalLayer):
         return mixture_log_prob.sum()
 
     # ---------------------------------------------------------------- inference
-    def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
-        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, [prior])
-        means_np = means.data.reshape(-1)
-        scales_np = scales.data.reshape(-1)
-        weights_np = np.exp(log_weights.data.reshape(-1))
-        components = []
-        for k in range(self.num_components):
-            if bounded[0]:
-                components.append(TruncatedNormal(means_np[k], scales_np[k], lows[0], highs[0]))
+    def proposal_distributions(self, hidden: Tensor, priors: Sequence[Distribution]) -> List[Distribution]:
+        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, list(priors))
+        means_np = means.data
+        scales_np = scales.data
+        weights_np = np.exp(log_weights.data)
+        num_components = self.num_components
+        # All truncated components across the batch are built in one
+        # vectorized pass (two ndtr calls total instead of two per object).
+        bounded_rows = np.flatnonzero(bounded)
+        truncated_per_row = {}
+        if bounded_rows.size:
+            built = TruncatedNormal.batch_build(
+                means_np[bounded_rows].reshape(-1),
+                scales_np[bounded_rows].reshape(-1),
+                np.repeat(lows[bounded_rows], num_components),
+                np.repeat(highs[bounded_rows], num_components),
+            )
+            for j, row in enumerate(bounded_rows):
+                truncated_per_row[int(row)] = built[j * num_components : (j + 1) * num_components]
+        distributions: List[Distribution] = []
+        for i in range(len(priors)):
+            if i in truncated_per_row:
+                components: List[Distribution] = truncated_per_row[i]
             else:
-                components.append(Normal(means_np[k], scales_np[k]))
-        return Mixture(components, weights_np)
+                components = [Normal(means_np[i, k], scales_np[i, k]) for k in range(num_components)]
+            distributions.append(Mixture(components, weights_np[i]))
+        return distributions
 
 
 class ProposalCategorical(ProposalLayer):
@@ -165,14 +192,18 @@ class ProposalCategorical(ProposalLayer):
         picked = F.gather(log_probs, indices, axis=-1)
         return picked.sum()
 
-    def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
+    def proposal_distributions(self, hidden: Tensor, priors: Sequence[Distribution]) -> List[Distribution]:
         logits = self.network(hidden)
-        probs = F.softmax(logits, axis=-1).data.reshape(-1)
-        # Guard against zero-probability categories that the prior allows:
-        # mix a small amount of the prior so importance weights stay finite.
-        if isinstance(prior, Categorical):
-            probs = 0.99 * probs + 0.01 * prior.probs
-        return Categorical(probs)
+        probs = F.softmax(logits, axis=-1).data
+        distributions: List[Distribution] = []
+        for i, prior in enumerate(priors):
+            row = probs[i]
+            # Guard against zero-probability categories that the prior allows:
+            # mix a small amount of the prior so importance weights stay finite.
+            if isinstance(prior, Categorical):
+                row = 0.99 * row + 0.01 * prior.probs
+            distributions.append(Categorical(row))
+        return distributions
 
 
 def make_proposal_layer(

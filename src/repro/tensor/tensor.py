@@ -20,6 +20,7 @@ code reads like the original.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,27 +29,33 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local (as in torch): the batched/distributed inference
+# engines enter no_grad from worker threads, and a process-global flag would
+# race — an unlucky interleaving of two threads' enter/exit could leave
+# autograd disabled for the whole process.
+_grad_mode = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_mode, "enabled", True)
 
 
 class no_grad:
     """Context manager that disables graph construction (like ``torch.no_grad``)."""
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _grad_enabled()
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _grad_mode.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations record autograd graph nodes."""
-    return _GRAD_ENABLED
+    """Whether new operations record autograd graph nodes (per thread)."""
+    return _grad_enabled()
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -92,7 +99,7 @@ class Tensor:
     ) -> None:
         self.data: np.ndarray = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and _grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -559,7 +566,7 @@ def _ensure_tensor(value: ArrayLike) -> Tensor:
 
 
 def _make(data: np.ndarray, parents: Tuple[Tensor, ...]) -> Tensor:
-    requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+    requires = _grad_enabled() and any(p.requires_grad for p in parents)
     out = Tensor(data, requires_grad=False)
     out.requires_grad = requires
     if requires:

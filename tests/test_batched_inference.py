@@ -1,0 +1,335 @@
+"""Tests of the batched lockstep inference engine and the distributed driver.
+
+The load-bearing property: because every trace owns a child random stream
+derived from (master seed, trace index), the posterior is independent of the
+cohort partitioning — ``batch_size=1`` (the sequential ProposalSession
+reference) and any ``batch_size>1`` must produce the same traces up to
+floating-point batching effects.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+from repro.common.rng import RandomState
+from repro.distributions import Normal, Uniform
+from repro.ppl import FunctionModel
+from repro.ppl.inference import batched_importance_sampling, per_trace_rngs
+from repro.ppl.inference.inference_compilation import InferenceCompilation
+from repro.ppl.nn.embeddings import ObservationEmbeddingFC
+from repro.distributed.inference import distributed_importance_sampling, partition_traces
+from tests.conftest import gaussian_posterior
+
+
+def lockstep_program():
+    """Fixed three-address control flow with per-trace prior parameters."""
+    a = ppl.sample(Uniform(-2.0, 2.0), name="a", address="addr_a")
+    b = ppl.sample(Normal(a, 1.0), name="b", address="addr_b")
+    c = ppl.sample(Uniform(b - 1.0, b + 1.0), name="c", address="addr_c")
+    ppl.observe(Normal(np.array([a, b, c, a + b + c]), 0.4), name="obs")
+    return a
+
+
+def loopy_program():
+    """Variable trace length: cohort members finish at different rounds."""
+    total = 0.0
+    count = 0
+    while total < 1.0 and count < 10:
+        total += ppl.sample(Uniform(0.4, 0.6), name="step")
+        count += 1
+    ppl.observe(Normal(total, 0.1), name="obs")
+    return count
+
+
+OBSERVATION = {"obs": np.array([0.6, 1.1, 0.9, 2.6])}
+
+
+@pytest.fixture(scope="module")
+def lockstep_engine():
+    model = FunctionModel(lockstep_program, name="lockstep")
+    engine = InferenceCompilation(
+        observation_embedding=ObservationEmbeddingFC(input_dim=4, embedding_dim=16),
+        observe_key="obs",
+        rng=RandomState(0),
+    )
+    engine.train(model, num_traces=400, minibatch_size=20, learning_rate=3e-3)
+    return model, engine
+
+
+@pytest.fixture(scope="module")
+def loopy_engine():
+    model = FunctionModel(loopy_program, name="loopy")
+    engine = InferenceCompilation(
+        observation_embedding=ObservationEmbeddingFC(input_dim=1, embedding_dim=16),
+        observe_key="obs",
+        rng=RandomState(1),
+    )
+    engine.train(model, num_traces=400, minibatch_size=20, learning_rate=3e-3)
+    return model, engine
+
+
+class TestBatchedSequentialEquivalence:
+    def test_lockstep_model_means_match_to_high_precision(self, lockstep_engine):
+        model, engine = lockstep_engine
+        results = {}
+        for batch_size in (1, 16, 64):
+            results[batch_size] = batched_importance_sampling(
+                model, OBSERVATION, num_traces=64, batch_size=batch_size,
+                network=engine.network, rng=RandomState(7),
+            )
+        reference = results[1]
+        for batch_size in (16, 64):
+            posterior = results[batch_size]
+            for latent in ("a", "b", "c"):
+                assert posterior.extract(latent).mean == pytest.approx(
+                    reference.extract(latent).mean, abs=1e-6
+                )
+            assert posterior.log_evidence == pytest.approx(reference.log_evidence, abs=1e-6)
+        stats = results[64].engine_stats
+        assert stats["num_cohorts"] == 1
+        assert stats["num_divergent_rounds"] == 0
+        assert stats["num_fallbacks"] == 0
+        # Lockstep: 3 addresses -> 3 rounds, each one batched step.
+        assert stats["num_rounds"] == 3
+        assert stats["num_batched_steps"] == 3
+
+    def test_divergent_control_flow_still_matches_sequential(self, loopy_engine):
+        model, engine = loopy_engine
+        sequential = batched_importance_sampling(
+            model, {"obs": 1.2}, num_traces=48, batch_size=1,
+            network=engine.network, rng=RandomState(9),
+        )
+        cohort = batched_importance_sampling(
+            model, {"obs": 1.2}, num_traces=48, batch_size=48,
+            network=engine.network, rng=RandomState(9),
+        )
+        assert [t.length for t in cohort.values] == [t.length for t in sequential.values]
+        numeric = [t["step"] for t in cohort.values]
+        reference = [t["step"] for t in sequential.values]
+        assert np.allclose(numeric, reference, atol=1e-9)
+        # One lockstep round per still-running trace draw: the round count is
+        # the longest trace, and the cohort shrinks as traces finish early.
+        assert cohort.engine_stats["num_rounds"] == max(t.length for t in cohort.values)
+
+    def test_address_divergence_groups_and_matches_sequential(self):
+        def branching_program():
+            z = ppl.sample(Uniform(0.0, 1.0), name="z", address="addr_z")
+            if z < 0.5:
+                x = ppl.sample(Normal(-1.0, 0.5), name="x", address="addr_left")
+            else:
+                x = ppl.sample(Normal(1.0, 0.5), name="x", address="addr_right")
+            ppl.observe(Normal(x, 0.5), name="obs")
+            return x
+
+        model = FunctionModel(branching_program, name="branching")
+        engine = InferenceCompilation(
+            observation_embedding=ObservationEmbeddingFC(input_dim=1, embedding_dim=16),
+            observe_key="obs",
+            rng=RandomState(2),
+        )
+        engine.train(model, num_traces=300, minibatch_size=20, learning_rate=3e-3)
+        sequential = batched_importance_sampling(
+            model, {"obs": 0.4}, num_traces=32, batch_size=1,
+            network=engine.network, rng=RandomState(21),
+        )
+        cohort = batched_importance_sampling(
+            model, {"obs": 0.4}, num_traces=32, batch_size=32,
+            network=engine.network, rng=RandomState(21),
+        )
+        assert cohort.extract("x").mean == pytest.approx(sequential.extract("x").mean, abs=1e-6)
+        branch_taken = {t.samples[1].address for t in cohort.values}
+        if len(branch_taken) > 1:
+            # Both branches present in the cohort: the second round split into
+            # per-address sub-batches.
+            assert cohort.engine_stats["num_divergent_rounds"] >= 1
+            assert cohort.engine_stats["num_batched_steps"] >= 3
+
+    def test_remainder_cohort_and_partitioning_invariance(self, lockstep_engine):
+        model, engine = lockstep_engine
+        uneven = batched_importance_sampling(
+            model, OBSERVATION, num_traces=10, batch_size=4,
+            network=engine.network, rng=RandomState(3),
+        )
+        assert len(uneven) == 10
+        assert uneven.engine_stats["num_cohorts"] == 3
+        even = batched_importance_sampling(
+            model, OBSERVATION, num_traces=10, batch_size=5,
+            network=engine.network, rng=RandomState(3),
+        )
+        assert even.extract("a").mean == pytest.approx(uneven.extract("a").mean, abs=1e-6)
+
+
+class TestFallbackAndPriorModes:
+    def test_unseen_address_falls_back_to_prior(self, lockstep_engine):
+        _, engine = lockstep_engine
+        engine.network.freeze_architecture()
+
+        def extended_program():
+            lockstep_program()
+            ppl.sample(Normal(0.0, 1.0), name="extra", address="addr_extra")
+
+        extended = FunctionModel(extended_program, name="extended")
+        posterior = batched_importance_sampling(
+            extended, OBSERVATION, num_traces=12, batch_size=12,
+            network=engine.network, rng=RandomState(4),
+        )
+        assert posterior.engine_stats["num_fallbacks"] == 12
+        assert np.all(np.isfinite(posterior.log_weights))
+
+    def test_prior_mode_recovers_conjugate_posterior(self, gaussian_model):
+        y = 1.2
+        posterior = batched_importance_sampling(
+            gaussian_model, {"obs": y}, num_traces=4000, batch_size=256,
+            network=None, rng=RandomState(5),
+        )
+        true_mean, true_std = gaussian_posterior(y)
+        mu = posterior.extract("mu")
+        assert mu.mean == pytest.approx(true_mean, abs=0.08)
+        assert mu.stddev == pytest.approx(true_std, abs=0.08)
+
+    def test_trace_callback_and_validation(self, gaussian_model):
+        seen = []
+        batched_importance_sampling(
+            gaussian_model, {"obs": 0.0}, num_traces=7, batch_size=4, network=None,
+            rng=RandomState(6), trace_callback=lambda t, w: seen.append(w),
+        )
+        assert len(seen) == 7
+        with pytest.raises(ValueError):
+            batched_importance_sampling(gaussian_model, {"obs": 0.0}, num_traces=0)
+        with pytest.raises(ValueError):
+            batched_importance_sampling(gaussian_model, {"obs": 0.0}, num_traces=4, batch_size=0)
+
+    def test_guided_run_requires_trace_log_q(self, lockstep_engine):
+        model, engine = lockstep_engine
+
+        class NoLogQModel(FunctionModel):
+            def get_trace(self, controller=None, observed_values=None, rng=None):
+                trace = super().get_trace(controller, observed_values=observed_values, rng=rng)
+                del trace.log_q
+                return trace
+
+        stripped = NoLogQModel(lockstep_program, name="no_log_q")
+        with pytest.raises(ValueError, match="log_q"):
+            batched_importance_sampling(
+                stripped, OBSERVATION, num_traces=4, batch_size=4,
+                network=engine.network, rng=RandomState(16),
+            )
+
+    def test_multiple_observes_require_observe_key(self, lockstep_engine):
+        model, engine = lockstep_engine
+        engine.network.observe_key = None
+        try:
+            with pytest.raises(ValueError):
+                batched_importance_sampling(
+                    model, {"a": 0.0, "b": 1.0}, num_traces=4, network=engine.network
+                )
+        finally:
+            engine.network.observe_key = "obs"
+
+    def test_uncontrolled_draw_between_controlled_steps(self):
+        # The previous-sample embedding must come from the last *controlled*
+        # draw: an uncontrolled value encoded under a categorical previous
+        # prior would one-hot an out-of-range index and crash.
+        from repro.distributions import Categorical
+
+        def program():
+            k = ppl.sample(Categorical([0.4, 0.3, 0.3]), name="k", address="addr_k")
+            skip = ppl.sample(Normal(7.5, 0.1), name="skip", address="addr_skip", control=False)
+            x = ppl.sample(Normal(float(k), 1.0), name="x", address="addr_x")
+            ppl.observe(Normal(x + skip, 0.5), name="obs")
+            return x
+
+        model = FunctionModel(program, name="uncontrolled_middle")
+        engine = InferenceCompilation(
+            observation_embedding=ObservationEmbeddingFC(input_dim=1, embedding_dim=16),
+            observe_key="obs",
+            rng=RandomState(14),
+        )
+        engine.train(model, num_traces=200, minibatch_size=20)
+        for batch_size in (1, 8):
+            posterior = batched_importance_sampling(
+                model, {"obs": 8.0}, num_traces=8, batch_size=batch_size,
+                network=engine.network, rng=RandomState(15),
+            )
+            assert np.all(np.isfinite(posterior.log_weights))
+
+    def test_per_trace_rngs_are_reproducible_and_distinct(self):
+        streams_a = per_trace_rngs(RandomState(11), 4)
+        streams_b = per_trace_rngs(RandomState(11), 4)
+        draws_a = [s.random() for s in streams_a]
+        draws_b = [s.random() for s in streams_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 4
+
+
+class TestInferenceCompilationWiring:
+    def test_posterior_runs_through_batched_engine(self, lockstep_engine):
+        model, engine = lockstep_engine
+        posterior = engine.posterior(model, OBSERVATION, num_traces=32, rng=RandomState(8))
+        assert posterior.engine_stats["num_batched_steps"] > 0
+        sequential = engine.posterior(
+            model, OBSERVATION, num_traces=32, rng=RandomState(8), batch_size=1
+        )
+        assert posterior.extract("a").mean == pytest.approx(
+            sequential.extract("a").mean, abs=1e-6
+        )
+
+
+class TestDistributedDriver:
+    def test_partition_traces_unequal(self):
+        assert partition_traces(10, 3) == [4, 3, 3]
+        assert partition_traces(2, 4) == [1, 1, 0, 0]
+        with pytest.raises(ValueError):
+            partition_traces(0, 3)
+        with pytest.raises(ValueError):
+            partition_traces(10, 0)
+
+    def test_merged_posterior_has_all_ranks(self, lockstep_engine):
+        model, engine = lockstep_engine
+        merged = distributed_importance_sampling(
+            model, OBSERVATION, num_traces=10, num_ranks=3, batch_size=4,
+            network=engine.network, rng=RandomState(12),
+        )
+        assert len(merged) == 10
+        assert merged.per_rank_sizes == [4, 3, 3]
+        assert merged.engine_stats["num_batched_steps"] > 0
+
+    def test_parallel_matches_sequential_ranks(self, lockstep_engine):
+        model, engine = lockstep_engine
+        kwargs = dict(num_traces=12, num_ranks=3, batch_size=4, network=engine.network)
+        sequential = distributed_importance_sampling(
+            model, OBSERVATION, rng=RandomState(13), parallel=False, **kwargs
+        )
+        parallel = distributed_importance_sampling(
+            model, OBSERVATION, rng=RandomState(13), parallel=True, **kwargs
+        )
+        assert parallel.extract("a").mean == pytest.approx(
+            sequential.extract("a").mean, abs=1e-9
+        )
+        assert sequential.effective_sample_size() > 0
+
+    def test_parallel_inference_leaves_grad_mode_enabled(self, lockstep_engine):
+        from repro.tensor import is_grad_enabled
+
+        model, engine = lockstep_engine
+        for seed in range(5):
+            distributed_importance_sampling(
+                model, OBSERVATION, num_traces=8, num_ranks=4, batch_size=2,
+                network=engine.network, rng=RandomState(seed), parallel=True,
+            )
+            assert is_grad_enabled()
+
+    def test_repeated_calls_with_shared_rng_draw_fresh_streams(self, lockstep_engine):
+        model, engine = lockstep_engine
+        shared = RandomState(14)
+        first = distributed_importance_sampling(
+            model, OBSERVATION, num_traces=6, num_ranks=2, batch_size=3,
+            network=engine.network, rng=shared,
+        )
+        second = distributed_importance_sampling(
+            model, OBSERVATION, num_traces=6, num_ranks=2, batch_size=3,
+            network=engine.network, rng=shared,
+        )
+        first_values = [t["a"] for t in first.values]
+        second_values = [t["a"] for t in second.values]
+        assert not np.allclose(first_values, second_values)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 from scipy import stats
+from scipy.special import logsumexp
 
 from repro.common.rng import RandomState
 from repro.distributions import (
@@ -157,6 +158,48 @@ class TestTruncatedNormal:
         assert np.isfinite(dist.log_prob(0.5))
         assert 0.0 <= dist.sample(RNG) <= 1.0
 
+    @pytest.mark.parametrize("low,high", [(8.0, 9.0), (-9.0, -8.0), (12.0, 12.5)])
+    def test_far_tail_log_prob_matches_scipy(self, low, high):
+        dist = TruncatedNormal(0.0, 1.0, low, high)
+        ref = stats.truncnorm(low, high, loc=0.0, scale=1.0)
+        x = np.linspace(low, high, 9)
+        assert np.allclose(dist.log_prob(x), ref.logpdf(x), atol=1e-8)
+
+    @pytest.mark.parametrize("low,high", [(8.0, 9.0), (-9.0, -8.0)])
+    def test_far_tail_sampling_stays_in_support_with_correct_moments(self, low, high):
+        dist = TruncatedNormal(0.0, 1.0, low, high)
+        samples = dist.sample(RNG, size=4000)
+        assert samples.min() >= low and samples.max() <= high
+        # Far-tail truncations concentrate hard against the near bound; the
+        # naive CDF-difference sampler would collapse to a constant here.
+        ref = stats.truncnorm(low, high, loc=0.0, scale=1.0)
+        assert np.std(samples) > 0
+        assert np.mean(samples) == pytest.approx(ref.mean(), abs=0.02)
+
+    def test_far_tail_density_integrates_to_one(self):
+        dist = TruncatedNormal(0.0, 1.0, 10.0, 11.0)
+        x = np.linspace(10.0, 11.0, 20001)
+        integral = np.trapezoid(np.exp(dist.log_prob(x)), x)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_batch_build_matches_scalar_construction(self):
+        locs = [0.3, -1.0, 0.0, 2.0]
+        scales = [0.7, 1.5, 1.0, 0.2]
+        lows = [-1.0, 0.0, 8.0, -9.0]
+        highs = [2.0, 4.0, 9.0, -8.0]
+        built = TruncatedNormal.batch_build(locs, scales, lows, highs)
+        for fast, (loc, scale, low, high) in zip(built, zip(locs, scales, lows, highs)):
+            ref = TruncatedNormal(loc, scale, low, high)
+            x = np.linspace(low, high, 7)
+            assert np.allclose(fast.log_prob(x), ref.log_prob(x))
+            assert fast._z == ref._z and fast._log_z == ref._log_z
+
+    def test_batch_build_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal.batch_build([0.0], [0.0], [-1.0], [1.0])
+        with pytest.raises(ValueError):
+            TruncatedNormal.batch_build([0.0], [1.0], [1.0], [-1.0])
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TruncatedNormal(0.0, 0.0, -1.0, 1.0)
@@ -205,6 +248,30 @@ class TestMixture:
         rebuilt = distribution_from_dict(mix.to_dict())
         x = np.linspace(-0.9, 0.9, 5)
         assert np.allclose(rebuilt.log_prob(x), mix.log_prob(x))
+
+    def test_truncated_fast_path_matches_generic_loop(self):
+        components = [TruncatedNormal(0.1 * k, 0.5 + 0.1 * k, -2.0, 2.0) for k in range(5)]
+        mix = Mixture(components, [0.1, 0.2, 0.3, 0.25, 0.15])
+        assert mix._fast_params is not None
+        x = np.linspace(-2.5, 2.5, 11)  # includes out-of-support points
+        generic = logsumexp(
+            np.stack([lw + c.log_prob(x) for lw, c in zip(mix._log_weights, components)]), axis=0
+        )
+        assert np.allclose(mix.log_prob(x), generic)
+        assert np.isscalar(float(mix.log_prob(0.3)))
+
+    def test_heterogeneous_mixture_falls_back_to_generic_path(self):
+        mix = Mixture([Normal(0.0, 1.0), Uniform(-1.0, 1.0)], [0.5, 0.5])
+        assert mix._fast_params is None
+        expected = np.log(0.5 * stats.norm(0, 1).pdf(0.2) + 0.5 * 0.5)
+        assert mix.log_prob(0.2) == pytest.approx(expected)
+
+    def test_vectorized_size_sampling(self):
+        mix = Mixture([Normal(-5.0, 0.1), Normal(5.0, 0.1)], [0.5, 0.5])
+        samples = mix.sample(RNG, size=(40, 25))
+        assert samples.shape == (40, 25)
+        assert (samples < 0).any() and (samples > 0).any()
+        assert np.all(np.abs(np.abs(samples) - 5.0) < 2.0)
 
 
 class TestMultivariateNormal:

@@ -121,6 +121,40 @@ class TestResamplingAndCombine:
         with pytest.raises(ValueError):
             Empirical.combine([])
 
+    def test_combine_unequal_rank_sizes_preserves_weights_and_ess(self):
+        # Per-rank posteriors of sizes 5/3/2 (the unequal split the
+        # distributed IS driver produces); merging must behave exactly like a
+        # single run that produced all ten weighted samples.
+        rng = np.random.default_rng(8)
+        sizes = [5, 3, 2]
+        log_weights = [rng.normal(size=s) for s in sizes]
+        ranks = [
+            Empirical(list(rng.normal(size=s)), lw) for s, lw in zip(sizes, log_weights)
+        ]
+        combined = Empirical.combine(ranks)
+        assert len(combined) == 10
+        flat = np.concatenate(log_weights)
+        reference = Empirical(list(np.zeros(10)), flat)
+        assert np.allclose(combined.log_weights, flat)
+        assert combined.effective_sample_size() == pytest.approx(
+            reference.effective_sample_size()
+        )
+        # Kish ESS bounds: between 1 and the total size.
+        assert 1.0 <= combined.effective_sample_size() <= 10.0
+
+    def test_combine_uniform_weights_gives_full_ess(self):
+        ranks = [Empirical([float(i)] * s) for i, s in enumerate([4, 1, 7])]
+        combined = Empirical.combine(ranks)
+        assert combined.effective_sample_size() == pytest.approx(12.0)
+
+    def test_summary_caches_are_stable(self):
+        emp = Empirical([1.0, 2.0, 3.0], log_weights=[0.0, 0.5, 1.0])
+        weights = emp.normalized_weights
+        assert emp.normalized_weights is weights
+        numeric = emp._numeric()
+        assert emp._numeric() is numeric
+        assert emp.mean == pytest.approx(float(np.sum(numeric * weights)))
+
     def test_unweighted_values(self):
         emp = Empirical([5, 6])
         assert emp.unweighted_values() == [5, 6]

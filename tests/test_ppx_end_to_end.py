@@ -18,6 +18,23 @@ def gaussian_simulator(client, observation):
     return mu
 
 
+def uncontrolled_simulator(client, observation):
+    """mu is controlled; a nuisance jitter draw is flagged control=False."""
+    mu = float(np.asarray(client.sample(Normal(0.0, 1.0), name="mu")))
+    jitter = float(np.asarray(client.sample(Normal(0.0, 0.3), name="jitter", control=False)))
+    client.observe(Normal(mu + jitter, 0.5), value=mu + jitter, name="obs")
+    return mu
+
+
+def repeated_address_simulator(client, observation):
+    """An uncontrolled and a controlled draw at the *same* address."""
+    values = []
+    for controlled in (False, True):
+        values.append(float(np.asarray(client.sample(Normal(0.0, 1.0), name="v", control=controlled))))
+    client.observe(Normal(values[1], 0.5), value=0.2, name="obs")
+    return values
+
+
 def looping_simulator(client, observation):
     """A simulator with a rejection loop (variable trace length)."""
     total = 0.0
@@ -121,6 +138,93 @@ class TestRemoteModel:
         true_mean, true_std = gaussian_posterior(y)
         assert mu.mean == pytest.approx(true_mean, abs=0.1)
         assert mu.stddev == pytest.approx(true_std, abs=0.1)
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_uncontrolled_remote_draws_bypass_the_controller(self):
+        from repro.common.rng import RandomState
+        from repro.ppl.inference import run_importance_sampling
+
+        remote, thread = self._remote(uncontrolled_simulator)
+        provider_calls = []
+
+        def prior_as_proposal(address, instance, prior, state):
+            provider_calls.append(address)
+            return prior
+
+        posterior = run_importance_sampling(
+            remote, {"obs": 0.6}, num_traces=20,
+            proposal_provider=prior_as_proposal, rng=RandomState(3),
+        )
+        # Only the controlled draw consults the proposal provider; the
+        # control=False jitter draw is sampled from its prior directly.
+        assert len(provider_calls) == 20
+        # And its prior density still cancels out of the importance weight.
+        for trace, log_weight in zip(posterior.values, posterior.log_weights):
+            assert log_weight == pytest.approx(trace.log_likelihood, abs=1e-10)
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_uncontrolled_draws_advance_instance_numbers(self):
+        # The controller must see the same (address, instance) keys the trace
+        # records, or ReplayController-based kernels silently redraw sites.
+        from repro.common.rng import RandomState
+        from repro.ppl.inference import run_importance_sampling
+
+        remote, thread = self._remote(repeated_address_simulator)
+        instances = []
+
+        def provider(address, instance, prior, state):
+            instances.append(instance)
+            return None
+
+        posterior = run_importance_sampling(
+            remote, {"obs": 0.2}, num_traces=3, proposal_provider=provider, rng=RandomState(5)
+        )
+        # The controlled draw is the second occurrence at its address.
+        assert instances == [1, 1, 1]
+        assert [s.instance for s in posterior.values[0].samples] == [0, 1]
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_guided_batched_inference_over_remote_model(self):
+        # The batched engine must serve RemoteModel guided executions through
+        # its per-trace path (one shared PPX transport cannot be suspended
+        # concurrently) — including the previous-sample value, which remote
+        # executions have no local ExecutionState to read from.
+        from repro.common.rng import RandomState
+        from repro.ppl.inference.inference_compilation import InferenceCompilation
+        from repro.ppl.nn.embeddings import ObservationEmbeddingFC
+
+        remote, thread = self._remote(gaussian_simulator)
+        dataset = remote.prior_traces(40, rng=RandomState(0))
+        engine = InferenceCompilation(
+            observation_embedding=ObservationEmbeddingFC(input_dim=1, embedding_dim=8),
+            observe_key="obs",
+            rng=RandomState(1),
+        )
+        engine.train(dataset=dataset, num_traces=80, minibatch_size=10)
+        posterior = engine.posterior(remote, {"obs": 1.0}, num_traces=12, rng=RandomState(2))
+        assert len(posterior) == 12
+        assert np.all(np.isfinite(posterior.log_weights))
+        # Remote executions run per trace, never through the lockstep cohort.
+        assert posterior.engine_stats["num_batched_steps"] == 0
+        remote.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_distributed_parallel_ranks_are_serialized_for_remote_models(self):
+        # Concurrent ranks would interleave the single PPX transport's
+        # request/reply protocol; the driver must serialize them.
+        from repro.common.rng import RandomState
+        from repro.distributed.inference import distributed_importance_sampling
+
+        remote, thread = self._remote(gaussian_simulator)
+        posterior = distributed_importance_sampling(
+            remote, {"obs": 0.5}, num_traces=12, num_ranks=3, batch_size=4,
+            network=None, rng=RandomState(6), parallel=True,
+        )
+        assert len(posterior) == 12
+        assert np.all(np.isfinite(posterior.log_weights))
         remote.shutdown()
         thread.join(timeout=5.0)
 

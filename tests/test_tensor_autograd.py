@@ -204,6 +204,22 @@ class TestAutogradMechanics:
         with pytest.raises(RuntimeError):
             x.sum().backward()
 
+    def test_grad_mode_is_thread_local(self):
+        # Inference worker threads enter no_grad concurrently; a process-global
+        # flag would race and could leave autograd disabled for everyone.
+        import threading
+
+        from repro.tensor import is_grad_enabled
+
+        seen = {}
+        with no_grad():
+            worker = threading.Thread(target=lambda: seen.update(worker=is_grad_enabled()))
+            worker.start()
+            worker.join()
+            assert is_grad_enabled() is False
+        assert seen["worker"] is True
+        assert is_grad_enabled() is True
+
     def test_gradient_accumulation_over_reuse(self):
         x = Tensor(np.array([2.0]), requires_grad=True)
         y = x * 3.0 + x * 4.0
