@@ -80,19 +80,37 @@ class ShardStore:
         return self._metadata.get(key, default)
 
     def flush(self) -> None:
-        """Flush pending records and persist the index + metadata."""
+        """Flush pending records and persist the index + metadata.
+
+        The index is the store's single point of failure: shard files are
+        append-only and self-contained, but a torn ``index.pkl`` orphans all
+        of them.  It is therefore written to a temporary sibling and moved
+        into place with :func:`os.replace`, which is atomic on POSIX and
+        Windows — a crash mid-write leaves the previous index intact.
+        """
         self._flush_shard()
-        with open(os.path.join(self.directory, self.INDEX_FILE), "wb") as handle:
-            pickle.dump(
-                {
-                    "index": self._index,
-                    "metadata": self._metadata,
-                    "num_shards": self._num_shards,
-                    "records_per_shard": self.records_per_shard,
-                },
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+        index_path = os.path.join(self.directory, self.INDEX_FILE)
+        temp_path = index_path + ".tmp"
+        try:
+            with open(temp_path, "wb") as handle:
+                pickle.dump(
+                    {
+                        "index": self._index,
+                        "metadata": self._metadata,
+                        "num_shards": self._num_shards,
+                        "records_per_shard": self.records_per_shard,
+                    },
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            # Never leave a torn temp file behind to be mistaken for an index.
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        os.replace(temp_path, index_path)
 
     def _load_index(self) -> None:
         with open(os.path.join(self.directory, self.INDEX_FILE), "rb") as handle:

@@ -28,7 +28,7 @@ from repro.distributed.performance_model import (
 )
 from repro.distributed.trainer import DistributedTrainer, TrainingReport
 from repro.distributed.load_balance import SchemeEvaluation, compare_schemes, evaluate_scheme
-from repro.distributed.inference import distributed_importance_sampling, partition_traces
+from repro.distributed.inference import distributed_importance_sampling, partition_traces, shard_jobs
 
 __all__ = [
     "Communicator",
@@ -57,4 +57,5 @@ __all__ = [
     "evaluate_scheme",
     "distributed_importance_sampling",
     "partition_traces",
+    "shard_jobs",
 ]

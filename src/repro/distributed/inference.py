@@ -25,7 +25,7 @@ from repro.ppl.empirical import Empirical
 from repro.ppl.inference.batched import batched_importance_sampling, per_trace_rngs
 from repro.ppl.model import RemoteModel
 
-__all__ = ["distributed_importance_sampling", "partition_traces"]
+__all__ = ["distributed_importance_sampling", "partition_traces", "shard_jobs"]
 
 
 def partition_traces(num_traces: int, num_ranks: int) -> List[int]:
@@ -40,6 +40,31 @@ def partition_traces(num_traces: int, num_ranks: int) -> List[int]:
         raise ValueError("num_ranks must be >= 1")
     base, extra = divmod(num_traces, num_ranks)
     return [base + (1 if rank < extra else 0) for rank in range(num_ranks)]
+
+
+def shard_jobs(jobs: List, num_shards: int, min_shard_size: int = 1) -> List[List]:
+    """Split a flat job list into contiguous, evenly sized shards.
+
+    The rank-partitioning rule of :func:`partition_traces` applied to an
+    explicit work list: used by the serving layer's worker pool to spread one
+    flushed micro-batch over idle workers (each shard becomes its own lockstep
+    cohort, which is safe because every job carries an independent random
+    stream).  ``min_shard_size`` caps the shard count so that tiny batches are
+    not splintered below a useful NN batch size.
+    """
+    if min_shard_size < 1:
+        raise ValueError("min_shard_size must be >= 1")
+    if not jobs:
+        return []
+    num_shards = max(1, min(num_shards, len(jobs) // min_shard_size))
+    sizes = partition_traces(len(jobs), num_shards)
+    shards: List[List] = []
+    start = 0
+    for size in sizes:
+        if size:
+            shards.append(jobs[start : start + size])
+        start += size
+    return shards
 
 
 def distributed_importance_sampling(

@@ -21,7 +21,7 @@ from repro.ppl.state import (
     sample,
 )
 from repro.ppl.model import FunctionModel, Model, RemoteModel
-from repro.ppl.empirical import Empirical
+from repro.ppl.empirical import Empirical, FrozenPosterior
 from repro.ppl import inference
 from repro.ppl import nn
 
@@ -38,6 +38,7 @@ __all__ = [
     "FunctionModel",
     "RemoteModel",
     "Empirical",
+    "FrozenPosterior",
     "inference",
     "nn",
 ]

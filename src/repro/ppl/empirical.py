@@ -19,7 +19,7 @@ from repro.common.rng import RandomState, get_rng
 from repro.common.utils import weighted_quantile
 from repro.trace.trace import Trace
 
-__all__ = ["Empirical"]
+__all__ = ["Empirical", "FrozenPosterior"]
 
 
 class Empirical:
@@ -192,6 +192,44 @@ class Empirical:
     def unweighted_values(self) -> List[Any]:
         return list(self.values)
 
+    # ----------------------------------------------------------------- freezing
+    def freeze(self, latents: Optional[Sequence[str]] = None) -> "FrozenPosterior":
+        """A trace-free, cache-safe summary of this posterior.
+
+        The serving layer's posterior cache must hand the same result object
+        to many concurrent clients and keep it resident for the cache TTL, so
+        the full traces (which hold distributions, simulator results and large
+        observations) are dropped: each named latent is projected onto a
+        weighted marginal :class:`Empirical` of its values, which supports the
+        same summaries (mean/variance/quantile/histogram/ESS) at a fraction
+        of the memory, and pickles cleanly.
+
+        ``latents`` selects which named latents to keep; ``None`` keeps every
+        name that appears in the traces.  Non-trace empiricals freeze to a
+        single ``"value"`` marginal.
+        """
+        marginals: Dict[str, Empirical] = {}
+        if self.values and isinstance(self.values[0], Trace):
+            if latents is None:
+                seen: List[str] = []
+                for trace in self.values:
+                    for sample in trace.samples:
+                        if sample.name is not None and sample.name not in seen:
+                            seen.append(sample.name)
+                latents = seen
+            for name in latents:
+                marginals[name] = self.extract(name)
+        else:
+            marginals["value"] = Empirical(list(self.values), self.log_weights, name=self.name)
+        return FrozenPosterior(
+            marginals=marginals,
+            log_evidence=self.log_evidence,
+            effective_sample_size=self.effective_sample_size(),
+            size=len(self),
+            name=self.name,
+            engine_stats=dict(getattr(self, "engine_stats", {}) or {}),
+        )
+
     # ----------------------------------------------------------------- algebra
     @staticmethod
     def combine(empiricals: Sequence["Empirical"], name: str = "combined") -> "Empirical":
@@ -207,3 +245,57 @@ class Empirical:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Empirical(name={self.name!r}, size={len(self)}, ess={self.effective_sample_size():.1f})"
+
+
+class FrozenPosterior:
+    """An immutable, trace-free posterior summary (see :meth:`Empirical.freeze`).
+
+    Holds one weighted marginal :class:`Empirical` per named latent plus the
+    scalar summaries of the source posterior.  Supports the read-side subset
+    of the :class:`Empirical` API (:meth:`extract`, ``len``, ``log_evidence``,
+    ``effective_sample_size``), so cached serving responses can be consumed by
+    the same client code that handles fresh ones.
+    """
+
+    def __init__(
+        self,
+        marginals: Dict[str, "Empirical"],
+        log_evidence: float,
+        effective_sample_size: float,
+        size: int,
+        name: str,
+        engine_stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._marginals = dict(marginals)
+        self.log_evidence = float(log_evidence)
+        self._ess = float(effective_sample_size)
+        self._size = int(size)
+        self.name = name
+        self.engine_stats = dict(engine_stats or {})
+        self.frozen = True
+
+    @property
+    def latent_names(self) -> List[str]:
+        return list(self._marginals)
+
+    def extract(self, name: str) -> "Empirical":
+        """The weighted marginal over the named latent."""
+        try:
+            return self._marginals[name]
+        except KeyError:
+            raise KeyError(
+                f"latent {name!r} was not retained in this frozen posterior "
+                f"(available: {sorted(self._marginals)})"
+            ) from None
+
+    def effective_sample_size(self) -> float:
+        return self._ess
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenPosterior(name={self.name!r}, size={self._size}, "
+            f"latents={sorted(self._marginals)})"
+        )

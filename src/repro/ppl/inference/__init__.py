@@ -2,7 +2,12 @@
 RMH/LMH MCMC, IC, and diagnostics."""
 
 from repro.ppl.inference import batched, diagnostics, importance_sampling, random_walk_metropolis
-from repro.ppl.inference.batched import batched_importance_sampling, per_trace_rngs
+from repro.ppl.inference.batched import (
+    TraceJob,
+    batched_importance_sampling,
+    mixed_batched_importance_sampling,
+    per_trace_rngs,
+)
 from repro.ppl.inference.importance_sampling import importance_sampling as run_importance_sampling
 from repro.ppl.inference.random_walk_metropolis import RandomWalkMetropolis
 from repro.ppl.inference.inference_compilation import InferenceCompilation, TrainingHistory
@@ -16,6 +21,8 @@ from repro.ppl.inference.diagnostics import (
 __all__ = [
     "batched",
     "batched_importance_sampling",
+    "mixed_batched_importance_sampling",
+    "TraceJob",
     "per_trace_rngs",
     "diagnostics",
     "importance_sampling",

@@ -34,9 +34,8 @@ uncontrolled draws cancel exactly against ``log_joint``.
 
 from __future__ import annotations
 
-import queue
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +45,16 @@ from repro.ppl.model import RemoteModel
 from repro.ppl.state import PriorController, ProposalController
 from repro.trace.trace import Trace
 
-__all__ = ["batched_importance_sampling", "per_trace_rngs"]
+__all__ = [
+    "batched_importance_sampling",
+    "mixed_batched_importance_sampling",
+    "per_trace_rngs",
+    "resolve_observation_array",
+    "TraceJob",
+    "new_engine_stats",
+    "form_log_weights",
+    "run_mixed_cohort",
+]
 
 
 def per_trace_rngs(rng: RandomState, num_traces: int) -> List[RandomState]:
@@ -70,78 +78,117 @@ class _LockstepCoordinator:
     live workers have been heard from, the pending requests are answered with
     one :meth:`BatchedProposalSession.proposals` call and the requesting
     workers are released for the next round.
+
+    The round inbox is a counting barrier, not a message queue: workers append
+    under one lock and the *last* poster of the round wakes the driver, so a
+    round costs one driver wake-up instead of one per message.  At serving
+    cohort sizes (B=64) the per-message ``queue.get`` wake-ups were the single
+    largest cost of the whole engine — coordination, not NN compute.
     """
 
     def __init__(self, session, num_workers: int) -> None:
         self.session = session
         self.num_workers = num_workers
-        self._queue: "queue.Queue[Tuple[str, int, Any, Any, Any]]" = queue.Queue()
+        self._lock = threading.Lock()
+        #: inbox of the current round: (kind, slot, address, prior, prev_value)
+        self._messages: List[Tuple[str, int, Any, Any, Any]] = []
+        #: how many messages complete the current round (live outstanding workers)
+        self._expected = num_workers
+        self._round_ready = threading.Event()
         self._events = [threading.Event() for _ in range(num_workers)]
         self._responses: Dict[int, Any] = {}
+        #: set after a driver-side failure: workers stop suspending and run
+        #: to completion on the prior fallback instead of deadlocking
+        self._poisoned = False
 
     # ------------------------------------------------------------ worker side
+    def _post(self, message: Tuple[str, int, Any, Any, Any]) -> bool:
+        """Append to the round inbox; returns False when the cohort is poisoned."""
+        with self._lock:
+            if self._poisoned:
+                return False
+            self._messages.append(message)
+            if len(self._messages) >= self._expected:
+                self._round_ready.set()
+            return True
+
     def request(self, slot: int, address: str, prior, previous_value):
         """Called from a worker thread; blocks until the round is answered."""
-        self._queue.put(("request", slot, address, prior, previous_value))
+        if not self._post(("request", slot, address, prior, previous_value)):
+            return None  # poisoned cohort: prior fallback, run to completion
         event = self._events[slot]
         event.wait()
         event.clear()
         return self._responses.pop(slot)
 
     def finished(self, slot: int) -> None:
-        self._queue.put(("done", slot, None, None, None))
+        self._post(("done", slot, None, None, None))
 
     # ------------------------------------------------------------ driver side
-    def serve(self, threads: Optional[Sequence[threading.Thread]] = None) -> None:
-        """Run rounds until every worker has finished.
+    def _collect_round(self, outstanding: set, threads) -> List[Tuple[str, int, Any, Any, Any]]:
+        """Block until every outstanding worker has posted its round message.
 
         ``threads`` enables a liveness check: a worker that died without ever
         reaching its ``finally`` (interpreter-level failure) is treated as
         done instead of deadlocking the round.
         """
+        while True:
+            if self._round_ready.wait(timeout=5.0):
+                break
+            if threads is not None:
+                with self._lock:
+                    posted = {message[1] for message in self._messages}
+                    dead = {
+                        slot
+                        for slot in outstanding
+                        if slot not in posted and not threads[slot].is_alive()
+                    }
+                    if dead:
+                        outstanding -= dead
+                        self._expected = len(outstanding)
+                        if len(self._messages) >= self._expected:
+                            break
+        with self._lock:
+            messages = self._messages
+            self._messages = []
+            self._round_ready.clear()
+        return messages
+
+    def serve(self, threads: Optional[Sequence[threading.Thread]] = None) -> None:
+        """Run rounds until every worker has finished."""
         outstanding = set(range(self.num_workers))
-        pending: List[Tuple[int, str, Any, Any]] = []
         try:
             while outstanding:
-                try:
-                    kind, slot, address, prior, previous_value = self._queue.get(timeout=5.0)
-                except queue.Empty:
-                    # Workers blocked on their event are alive by construction;
-                    # only a worker that died before reaching its ``finally``
-                    # can leave outstanding non-empty forever.
-                    if threads is not None:
-                        outstanding -= {s for s in outstanding if not threads[s].is_alive()}
-                else:
-                    outstanding.discard(slot)
-                    if kind == "request":
-                        pending.append((slot, address, prior, previous_value))
-                if not outstanding and pending:
-                    responses = self.session.proposals(pending)
-                    outstanding = {s for s, _, _, _ in pending}
-                    pending = []
-                    for request_slot, proposal in responses.items():
-                        self._responses[request_slot] = proposal
-                        self._events[request_slot].set()
+                messages = self._collect_round(outstanding, threads)
+                pending = [
+                    (slot, address, prior, previous_value)
+                    for kind, slot, address, prior, previous_value in messages
+                    if kind == "request"
+                ]
+                outstanding = {slot for slot, _, _, _ in pending}
+                if not pending:
+                    continue
+                # The next round's barrier size must be armed *before* any
+                # released worker can post into it.
+                with self._lock:
+                    self._expected = len(outstanding)
+                responses = self.session.proposals(pending)
+                for request_slot, proposal in responses.items():
+                    self._responses[request_slot] = proposal
+                    self._events[request_slot].set()
         except BaseException:
             # A driver-side failure (e.g. inside the network forward) must not
-            # leave workers blocked forever: release every suspended worker
-            # with a prior fallback, drain the cohort to completion, re-raise.
-            for request_slot, _, _, _ in pending:
-                outstanding.add(request_slot)
+            # leave workers blocked forever: poison the cohort (so no worker
+            # suspends again), release every blocked worker with a prior
+            # fallback, and re-raise.  Poisoned workers run to completion on
+            # their own threads; the cohort's traces are discarded anyway.
+            with self._lock:
+                self._poisoned = True
+                blocked = {message[1] for message in self._messages if message[0] == "request"}
+                self._messages = []
+            for request_slot in outstanding | blocked:
                 self._responses[request_slot] = None
                 self._events[request_slot].set()
-            while outstanding:
-                try:
-                    kind, slot, _, _, _ = self._queue.get(timeout=5.0)
-                except queue.Empty:
-                    if threads is not None:
-                        outstanding -= {s for s in outstanding if not threads[s].is_alive()}
-                    continue
-                if kind == "request":
-                    self._responses[slot] = None
-                    self._events[slot].set()
-                else:
-                    outstanding.discard(slot)
             raise
 
 
@@ -188,17 +235,21 @@ def _worker(model, observation, coordinator, slot, rng, traces, errors) -> None:
         coordinator.finished(slot)
 
 
-def _run_cohort(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
-    """Execute one cohort of ``len(rngs)`` guided executions in lockstep."""
+def _drive_cohort(model, session, slot_observations, rngs, stats) -> List[Trace]:
+    """Drive ``len(rngs)`` suspended guided executions against ``session``.
+
+    ``slot_observations[slot]`` conditions slot ``slot``'s execution; the
+    shared-observation path passes the same mapping for every slot, the
+    mixed-observation path one mapping per request.
+    """
     size = len(rngs)
-    session = network.batched_session(observation_array, size)
     coordinator = _LockstepCoordinator(session, size)
     traces: List[Optional[Trace]] = [None] * size
     errors: List[Optional[BaseException]] = [None] * size
     threads = [
         threading.Thread(
             target=_worker,
-            args=(model, observation, coordinator, slot, rngs[slot], traces, errors),
+            args=(model, slot_observations[slot], coordinator, slot, rngs[slot], traces, errors),
             name=f"batched-is-worker-{slot}",
             daemon=True,
         )
@@ -217,7 +268,182 @@ def _run_cohort(model, observation, network, observation_array, rngs, stats) -> 
     stats["num_rounds"] += session.num_rounds
     stats["num_batched_steps"] += session.num_batched_steps
     stats["num_divergent_rounds"] += session.num_divergent_rounds
+    stats["num_observation_embeddings"] += session.num_observation_embeddings
     return traces  # type: ignore[return-value]
+
+
+def _run_cohort(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
+    """Execute one cohort of ``len(rngs)`` guided executions in lockstep."""
+    session = network.batched_session(observation_array, len(rngs))
+    return _drive_cohort(model, session, [observation] * len(rngs), rngs, stats)
+
+
+class TraceJob(NamedTuple):
+    """One guided execution owed to a posterior request.
+
+    The serving scheduler flattens every admitted request into ``num_traces``
+    trace jobs (each carrying the request's observation and its own derived
+    random stream) and packs jobs from *different* requests into shared
+    lockstep cohorts.  ``request_index`` routes the finished trace back to the
+    request that owns it.
+    """
+
+    request_index: int
+    observation: Dict[str, Any]
+    observation_array: Optional[np.ndarray]
+    rng: RandomState
+
+
+def new_engine_stats() -> Dict[str, int]:
+    """A fresh counter block as attached to results via ``engine_stats``."""
+    return {
+        "num_cohorts": 0,
+        "num_proposal_steps": 0,
+        "num_fallbacks": 0,
+        "num_rounds": 0,
+        "num_batched_steps": 0,
+        "num_divergent_rounds": 0,
+        "num_observation_embeddings": 0,
+    }
+
+
+def resolve_observation_array(network, observation: Dict[str, Any], observe_key: Optional[str] = None):
+    """The observation entry feeding the network's observation embedding.
+
+    Returns ``None`` when no network is supplied (prior/likelihood-weighting
+    mode needs no embedding).  Raises on an ambiguous or missing key, exactly
+    as the one-shot engine does.
+    """
+    if network is None:
+        return None
+    key = observe_key or network.observe_key
+    if key is None:
+        if len(observation) != 1:
+            raise ValueError("pass observe_key when conditioning on multiple observes")
+        key = next(iter(observation))
+    if key not in observation:
+        raise ValueError(
+            f"observe_key {key!r} not found in observation (available: {sorted(observation)})"
+        )
+    return np.asarray(observation[key], dtype=float)
+
+
+def run_mixed_cohort(model, jobs: Sequence[TraceJob], network, stats: Dict[str, int]) -> List[Trace]:
+    """Execute one lockstep cohort whose slots may condition on different observations.
+
+    This is the serving subsystem's inner loop: ``jobs`` typically mixes trace
+    jobs from several concurrent requests.  With a network, the cohort runs
+    through :meth:`InferenceNetwork.mixed_batched_session` (one embedding per
+    distinct observation, one batched LSTM step per address group); without
+    one, every job draws from the prior (likelihood weighting).
+    """
+    stats["num_cohorts"] += 1
+    if network is None:
+        traces = []
+        for job in jobs:
+            traces.append(
+                model.get_trace(PriorController(), observed_values=job.observation, rng=job.rng)
+            )
+        return traces
+    rngs = [job.rng for job in jobs]
+    if len(jobs) == 1 or isinstance(model, RemoteModel):
+        # Same constraint as the one-shot engine: a remote simulator
+        # multiplexes one PPX transport, so run its executions one at a time.
+        traces = []
+        for job in jobs:
+            traces.extend(
+                _run_sequential(model, job.observation, network, job.observation_array, [job.rng], stats)
+            )
+        return traces
+    session = network.mixed_batched_session([job.observation_array for job in jobs])
+    return _drive_cohort(model, session, [job.observation for job in jobs], rngs, stats)
+
+
+def form_log_weights(
+    traces: Sequence[Trace],
+    network,
+    trace_callback: Optional[Callable[[Trace, float], None]] = None,
+) -> List[float]:
+    """ExecutionState-level importance weights ``log w = log p(x, y) - log q(x)``.
+
+    ``trace.log_q`` covers *every* latent draw (uncontrolled draws contribute
+    their prior density, cancelling the matching term inside ``log_joint``).
+    """
+    log_weights: List[float] = []
+    for trace in traces:
+        log_q = getattr(trace, "log_q", None)
+        if log_q is None:
+            if network is not None:
+                # A silent prior fallback would discard the proposal density
+                # and bias the posterior — refuse instead.
+                raise ValueError(
+                    "model.get_trace did not record trace.log_q; guided "
+                    "importance weights cannot be formed without it"
+                )
+            log_q = trace.log_prior
+        log_weight = trace.log_joint - log_q
+        log_weights.append(log_weight)
+        if trace_callback is not None:
+            trace_callback(trace, log_weight)
+    return log_weights
+
+
+def mixed_batched_importance_sampling(
+    model,
+    requests: Sequence[Tuple[Dict[str, Any], int, Optional[RandomState]]],
+    batch_size: int = 64,
+    network=None,
+    observe_key: Optional[str] = None,
+    rng: Optional[RandomState] = None,
+) -> List[Empirical]:
+    """Run several independent posterior requests through shared cohorts.
+
+    ``requests`` holds ``(observation, num_traces, rng)`` triples; requests
+    with ``rng=None`` derive their stream from ``rng`` (or the global state).
+    The trace jobs of all requests are flattened in request order and packed
+    into lockstep cohorts of up to ``batch_size``, so concurrent requests
+    amortize the network forwards that a one-request cohort would pay alone.
+
+    Because every trace draws from a child stream that is a pure function of
+    (request rng, trace index) — the same derivation
+    :func:`batched_importance_sampling` uses — each returned posterior is
+    identical to a direct one-shot run with that request's rng, regardless of
+    how jobs were packed into cohorts.
+
+    Returns one :class:`Empirical` per request, each carrying the shared
+    ``engine_stats`` counter block of the whole run.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    master = rng or get_rng()
+    stats = new_engine_stats()
+
+    jobs: List[TraceJob] = []
+    for index, (observation, num_traces, request_rng) in enumerate(requests):
+        if num_traces <= 0:
+            raise ValueError("num_traces must be positive")
+        observation_array = resolve_observation_array(network, observation, observe_key)
+        request_rng = request_rng or master
+        for trace_rng in per_trace_rngs(request_rng, num_traces):
+            jobs.append(TraceJob(index, observation, observation_array, trace_rng))
+
+    traces_by_request: Dict[int, List[Trace]] = {index: [] for index in range(len(requests))}
+    for start in range(0, len(jobs), batch_size):
+        cohort = jobs[start : start + batch_size]
+        for job, trace in zip(cohort, run_mixed_cohort(model, cohort, network, stats)):
+            traces_by_request[job.request_index].append(trace)
+
+    results: List[Empirical] = []
+    for index in range(len(requests)):
+        traces = traces_by_request[index]
+        result = Empirical(
+            traces,
+            form_log_weights(traces, network),
+            name="mixed_batched_importance_sampling_posterior",
+        )
+        result.engine_stats = stats
+        results.append(result)
+    return results
 
 
 def _run_sequential(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
@@ -233,6 +459,7 @@ def _run_sequential(model, observation, network, observation_array, rngs, stats)
         traces.append(model.get_trace(controller, observed_values=observation, rng=rng))
         stats["num_proposal_steps"] += session.num_steps
         stats["num_fallbacks"] += session.num_fallbacks
+        stats["num_observation_embeddings"] += 1
     return traces
 
 
@@ -284,27 +511,8 @@ def batched_importance_sampling(
         raise ValueError("batch_size must be >= 1")
     rng = rng or get_rng()
     rngs = per_trace_rngs(rng, num_traces)
-    stats: Dict[str, int] = {
-        "num_cohorts": 0,
-        "num_proposal_steps": 0,
-        "num_fallbacks": 0,
-        "num_rounds": 0,
-        "num_batched_steps": 0,
-        "num_divergent_rounds": 0,
-    }
-
-    observation_array = None
-    if network is not None:
-        key = observe_key or network.observe_key
-        if key is None:
-            if len(observation) != 1:
-                raise ValueError("pass observe_key when conditioning on multiple observes")
-            key = next(iter(observation))
-        if key not in observation:
-            raise ValueError(
-                f"observe_key {key!r} not found in observation (available: {sorted(observation)})"
-            )
-        observation_array = np.asarray(observation[key], dtype=float)
+    stats = new_engine_stats()
+    observation_array = resolve_observation_array(network, observation, observe_key)
 
     # A remote simulator multiplexes one PPX transport, so its guided
     # executions cannot be suspended concurrently; run those per trace.
@@ -327,26 +535,7 @@ def batched_importance_sampling(
                 _run_cohort(model, observation, network, observation_array, cohort_rngs, stats)
             )
 
-    log_weights: List[float] = []
-    for trace in traces:
-        # ExecutionState-level accounting: trace.log_q covers *every* latent
-        # draw (uncontrolled draws contribute their prior density, cancelling
-        # the matching term inside log_joint).
-        log_q = getattr(trace, "log_q", None)
-        if log_q is None:
-            if network is not None:
-                # A silent prior fallback would discard the proposal density
-                # and bias the posterior — refuse instead.
-                raise ValueError(
-                    "model.get_trace did not record trace.log_q; guided "
-                    "importance weights cannot be formed without it"
-                )
-            log_q = trace.log_prior
-        log_weight = trace.log_joint - log_q
-        log_weights.append(log_weight)
-        if trace_callback is not None:
-            trace_callback(trace, log_weight)
-
+    log_weights = form_log_weights(traces, network, trace_callback)
     result = Empirical(traces, log_weights, name="batched_importance_sampling_posterior")
     result.engine_stats = stats
     return result

@@ -143,9 +143,16 @@ class RemoteModel(Model):
     when scoring the likelihood.
     """
 
-    def __init__(self, transport: Transport, name: str = "remote-model") -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        name: str = "remote-model",
+        run_timeout: Optional[float] = None,
+    ) -> None:
         super().__init__(name=name)
         self.controller = SimulatorController(transport)
+        #: bound on every wait for a simulator reply; None blocks indefinitely
+        self.run_timeout = run_timeout
 
     def forward(self) -> Any:  # pragma: no cover - remote models never run locally
         raise RuntimeError("RemoteModel executes in the simulator process, not locally")
@@ -193,6 +200,7 @@ class RemoteModel(Model):
             sample_policy=sample_policy,
             observation=None,
             observe_override=observe_override,
+            timeout=self.run_timeout,
         )
         # Normalise trace.observation to the same dict form local models use.
         observation: Dict[str, Any] = {}

@@ -227,6 +227,18 @@ class InferenceNetwork(Module):
         """Start a lockstep session advancing ``batch_size`` executions at once."""
         return BatchedProposalSession(self, observation, batch_size)
 
+    def mixed_batched_session(self, observations: Sequence[Any]) -> "BatchedProposalSession":
+        """Start a lockstep session whose slots condition on *different* observations.
+
+        ``observations[slot]`` is the observation array for slot ``slot``; the
+        cohort size is ``len(observations)``.  Duplicate observations (byte-
+        identical arrays) are embedded once and share their embedding row, so
+        a cohort coalescing several requests for the same observation pays one
+        observation-embedding forward per *distinct* observation — the serving
+        layer's amortization win.
+        """
+        return BatchedProposalSession(self, None, len(observations), observations=observations)
+
     # ------------------------------------------------------------- persistence
     def save(self, path: str) -> None:
         """Serialise architecture spec + weights to ``path``."""
@@ -351,17 +363,39 @@ class BatchedProposalSession:
     Drive it through :func:`repro.ppl.inference.batched.batched_importance_sampling`,
     which suspends B model executions at their controlled draws and answers
     them through :meth:`proposals`.
+
+    Mixed-observation cohorts (:meth:`InferenceNetwork.mixed_batched_session`)
+    give every slot its own observation embedding row, so *independent*
+    posterior requests for different observations can share one lockstep
+    cohort — the entry point the serving subsystem's micro-batching scheduler
+    coalesces into.  Distinct observations are embedded once each
+    (:attr:`num_observation_embeddings` counts the forwards actually paid).
     """
 
-    def __init__(self, network: InferenceNetwork, observation, batch_size: int) -> None:
+    def __init__(
+        self,
+        network: InferenceNetwork,
+        observation,
+        batch_size: int,
+        observations: Optional[Sequence[Any]] = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.network = network
         self.batch_size = int(batch_size)
-        observation_arr = np.asarray(observation, dtype=float)
-        with no_grad():
-            embed = network.observation_embedding(Tensor(observation_arr[None, ...]))
-        self._obs_row = embed.data[0]
+        if observations is not None:
+            if len(observations) != self.batch_size:
+                raise ValueError("observations must supply one entry per slot")
+            self._obs_rows = self._embed_per_slot(observations)
+        else:
+            observation_arr = np.asarray(observation, dtype=float)
+            with no_grad():
+                embed = network.observation_embedding(Tensor(observation_arr[None, ...]))
+            # Shared observation: every slot reads the same embedding row.
+            self._obs_rows = np.broadcast_to(
+                embed.data[0], (self.batch_size, embed.data.shape[1])
+            )
+            self.num_observation_embeddings = 1
         hidden = network.lstm.hidden_size
         self._h = [np.zeros((self.batch_size, hidden)) for _ in range(network.lstm.num_layers)]
         self._c = [np.zeros((self.batch_size, hidden)) for _ in range(network.lstm.num_layers)]
@@ -372,6 +406,29 @@ class BatchedProposalSession:
         self.num_rounds = 0
         self.num_batched_steps = 0
         self.num_divergent_rounds = 0
+
+    def _embed_per_slot(self, observations: Sequence[Any]) -> np.ndarray:
+        """Embed per-slot observations, deduplicating byte-identical arrays.
+
+        Each distinct observation is embedded with the same single-row forward
+        the shared-observation path uses, so a mixed cohort produces bitwise
+        the same embedding rows as running each request in its own cohort —
+        the property the serving layer's seeded-equivalence tests rely on.
+        """
+        network = self.network
+        arrays = [np.ascontiguousarray(np.asarray(o, dtype=float)) for o in observations]
+        unique_rows: Dict[Tuple[Any, bytes], np.ndarray] = {}
+        rows = np.empty((len(arrays), network.obs_dim))
+        for slot, array in enumerate(arrays):
+            key = (array.shape, array.tobytes())
+            row = unique_rows.get(key)
+            if row is None:
+                with no_grad():
+                    row = network.observation_embedding(Tensor(array[None, ...])).data[0]
+                unique_rows[key] = row
+            rows[slot] = row
+        self.num_observation_embeddings = len(unique_rows)
+        return rows
 
     def proposals(self, requests: Sequence[Tuple[int, str, Distribution, Any]]) -> Dict[int, Optional[Distribution]]:
         """Answer one lockstep round of proposal requests.
@@ -434,9 +491,9 @@ class BatchedProposalSession:
                 )
                 prev_embed[rows] = network.sample_embeddings[prev_addr](Tensor(encoded)).data
             addr_embed = network.address_embeddings[address](size).data
-            obs_embed = np.broadcast_to(self._obs_row, (size, self._obs_row.shape[0]))
-            lstm_input = Tensor(np.concatenate([obs_embed, addr_embed, prev_embed], axis=1))
             slots = [slot for slot, _, _ in members]
+            obs_embed = self._obs_rows[slots]
+            lstm_input = Tensor(np.concatenate([obs_embed, addr_embed, prev_embed], axis=1))
             state = [
                 (Tensor(self._h[layer][slots]), Tensor(self._c[layer][slots]))
                 for layer in range(network.lstm.num_layers)

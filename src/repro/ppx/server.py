@@ -10,6 +10,8 @@ callback, so the same controller serves prior sampling, RMH and IC inference.
 
 from __future__ import annotations
 
+import queue
+import socket
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -46,9 +48,27 @@ class SimulatorController:
         self.model_name: Optional[str] = None
         self._handshaken = False
 
+    def _receive(self, timeout: Optional[float], waiting_for: str):
+        """Receive one message, converting transport-level timeouts.
+
+        Each transport has its own timeout signal (``queue.Empty`` for the
+        in-process queue pair, ``socket.timeout`` for framed sockets); a
+        simulator that hangs mid-protocol must surface as a clear
+        :class:`TimeoutError` naming what the controller was waiting for,
+        not as a transport internal — or, with no timeout, as a silent
+        forever-block.
+        """
+        try:
+            return self.transport.receive(timeout=timeout)
+        except (queue.Empty, socket.timeout, TimeoutError) as exc:
+            raise TimeoutError(
+                f"simulator did not respond within {timeout}s while the "
+                f"controller was waiting for {waiting_for}"
+            ) from exc
+
     # ------------------------------------------------------------- handshake
     def accept_handshake(self, timeout: Optional[float] = None) -> None:
-        message = self.transport.receive(timeout=timeout)
+        message = self._receive(timeout, "its Handshake message")
         if not isinstance(message, Handshake):
             raise RuntimeError(f"expected Handshake, got {type(message).__name__}")
         self.simulator_name = message.system_name
@@ -62,6 +82,7 @@ class SimulatorController:
         sample_policy: SamplePolicy,
         observation: Any = None,
         observe_override: Optional[Any] = None,
+        timeout: Optional[float] = None,
     ) -> Trace:
         """Execute the simulator once and return the recorded trace.
 
@@ -70,13 +91,16 @@ class SimulatorController:
         at observe statements when scoring the likelihood — this is how an
         actual detector observation is conditioned on while the simulator
         still produces its own synthetic output.
+        ``timeout`` bounds every wait on the simulator (the handshake and each
+        protocol message of the run); a simulator that stops responding raises
+        :class:`TimeoutError` instead of blocking the controller forever.
         """
         if not self._handshaken:
-            self.accept_handshake()
+            self.accept_handshake(timeout=timeout)
         trace = Trace()
         self.transport.send(Run(observation=_to_wire(observation)))
         while True:
-            message = self.transport.receive()
+            message = self._receive(timeout, "the next message of its Run")
             if isinstance(message, SampleRequest):
                 distribution = distribution_from_dict(message.distribution)
                 value = sample_policy(message.address, distribution, message)
@@ -131,7 +155,7 @@ class SimulatorController:
             if not self._handshaken:
                 self.accept_handshake(timeout=5.0)
             self.transport.send(ShutdownRequest())
-            reply = self.transport.receive(timeout=5.0)
+            reply = self._receive(5.0, "its ShutdownResult")
             if not isinstance(reply, ShutdownResult):  # pragma: no cover - defensive
                 raise RuntimeError("unexpected reply to shutdown")
         finally:

@@ -1,0 +1,55 @@
+"""Posterior serving: an async micro-batching front end over the lockstep engine.
+
+The paper's end state is *interactive* posterior inference: a trained
+inference network answers posterior queries for live simulator observations,
+and because amortized inference is importance sampling with NN proposals, the
+marginal cost of a query is dominated by network forwards that batch almost
+for free.  This package turns that observation into a service:
+
+* :class:`PosteriorService` — the front end: accepts concurrent posterior
+  requests, applies admission control (bounded queue, per-request deadlines),
+  answers repeated queries from an observation-keyed cache of frozen
+  posterior summaries, and single-flights concurrent identical queries onto
+  one inference run.
+* :class:`MicroBatchScheduler` — coalesces the trace jobs of in-flight
+  requests (possibly conditioning on *different* observations) into lockstep
+  cohorts under a max-batch/max-latency flush policy.
+* :class:`CohortWorkerPool` — executes cohorts on a pool of worker threads,
+  sharding flushed batches across idle workers the same way the distributed
+  driver shards traces across ranks.
+* :class:`ServingMetrics` — QPS, latency percentiles, cohort occupancy and
+  cache hit rate, built on :mod:`repro.common.timing`.
+
+Because every trace job carries a child random stream that is a pure function
+of (request rng, trace index) — the same derivation the one-shot engine uses —
+a served posterior is identical to a direct
+:meth:`repro.ppl.inference.inference_compilation.InferenceCompilation.posterior`
+call with the same seed, no matter how requests were packed into cohorts.
+"""
+
+from repro.serving.cache import PosteriorCache, observation_fingerprint
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import (
+    DeadlineExceeded,
+    PosteriorRequest,
+    ServedPosterior,
+    ServiceOverloaded,
+    ServingError,
+)
+from repro.serving.scheduler import MicroBatchScheduler
+from repro.serving.service import PosteriorService
+from repro.serving.workers import CohortWorkerPool
+
+__all__ = [
+    "CohortWorkerPool",
+    "DeadlineExceeded",
+    "MicroBatchScheduler",
+    "PosteriorCache",
+    "PosteriorRequest",
+    "PosteriorService",
+    "ServedPosterior",
+    "ServiceOverloaded",
+    "ServingError",
+    "ServingMetrics",
+    "observation_fingerprint",
+]

@@ -1,0 +1,145 @@
+"""Observation-keyed posterior cache (LRU with TTL).
+
+Amortized inference makes repeated queries for the same observation pure
+waste: the trained network is deterministic given (observation, num_traces,
+seed policy), so the service memoizes finished posteriors under a fingerprint
+of the observation tensor, the model identity and the trace budget.  Entries
+are :class:`repro.ppl.empirical.FrozenPosterior` summaries — trace-free and
+immutable, so one entry can be handed to any number of concurrent clients and
+kept resident for the TTL without pinning simulator traces in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.ppl.empirical import FrozenPosterior
+
+__all__ = ["PosteriorCache", "observation_fingerprint"]
+
+
+def observation_fingerprint(observation: Dict[str, Any], model_id: str, num_traces: int) -> str:
+    """A stable digest of (observation tensor(s), model id, trace budget).
+
+    Observation entries are hashed by name, dtype, shape and raw bytes, so two
+    numerically identical arrays collide (the point of the cache) while any
+    reshaped / retyped / perturbed observation gets its own entry.
+    """
+    digest = hashlib.sha256()
+    digest.update(model_id.encode())
+    digest.update(str(int(num_traces)).encode())
+    for name in sorted(observation):
+        array = np.ascontiguousarray(np.asarray(observation[name]))
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class PosteriorCache:
+    """Thread-safe LRU + TTL cache of frozen posterior summaries.
+
+    ``capacity`` bounds the entry count (least-recently-used eviction);
+    ``ttl`` (seconds, ``None`` = no expiry) bounds staleness — a posterior is
+    deterministic for a fixed network, but a service whose network is being
+    retrained in place wants answers to age out.  ``capacity=0`` disables
+    caching entirely (every lookup is a miss).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable expiry)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[str, Tuple[float, FrozenPosterior]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: str, record_miss: bool = True) -> Optional[FrozenPosterior]:
+        """Look up ``key``; a found entry always counts as a hit.
+
+        ``record_miss=False`` defers the miss accounting to the caller — the
+        service uses this because a lookup miss may still be answered by
+        single-flight coalescing, which it then folds back in via
+        :meth:`record_hit`/:meth:`record_miss` so the cache's own hit rate
+        agrees with the serving metrics.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                stored_at, value = entry
+                if self.ttl is not None and self._clock() - stored_at >= self.ttl:
+                    del self._entries[key]
+                    self.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value
+            if record_miss:
+                self.misses += 1
+            return None
+
+    def record_hit(self) -> None:
+        """Count an externally-resolved hit (e.g. single-flight coalescing)."""
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        """Count a deferred miss (see :meth:`get` with ``record_miss=False``)."""
+        with self._lock:
+            self.misses += 1
+
+    def put(self, key: str, value: FrozenPosterior) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. after swapping in a newly trained network)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,183 @@
+"""Dynamic micro-batching: coalesce in-flight trace jobs into lockstep cohorts.
+
+The scheduler owns the pending-job queue and a single flush thread.  Incoming
+requests are already exploded into per-trace jobs (so a 100-trace request and
+ten 10-trace requests exert the same queue pressure), and the flush policy is
+the classic serving trade-off:
+
+* **max-batch** — flush immediately once a full cohort's worth of jobs is
+  pending; batching beyond the cohort size buys nothing.
+* **max-latency** — otherwise flush when the *oldest* pending request has
+  waited ``max_latency`` seconds, so a lone request never waits more than the
+  configured bound for co-batchable traffic that may never arrive.
+
+Expired requests are shed at flush time (their remaining jobs are dropped and
+the request fails with ``DeadlineExceeded`` via the ``on_shed`` callback), so
+a deadline costs nothing once it has passed — the cohort slots go to requests
+that can still meet theirs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
+
+from collections import deque
+
+from repro.ppl.inference.batched import TraceJob
+from repro.serving.request import PosteriorRequest
+
+__all__ = ["CohortEntry", "MicroBatchScheduler"]
+
+
+class CohortEntry(NamedTuple):
+    """One pending trace job plus the request-side routing information."""
+
+    job: TraceJob
+    request: PosteriorRequest
+    position: int  # index of this trace within its request (submission order)
+
+
+class MicroBatchScheduler:
+    """Coalesces pending trace jobs into cohorts under a flush policy.
+
+    ``dispatch(entries)`` is invoked on the scheduler thread with each flushed
+    cohort and may block — that blocking is the backpressure path: while the
+    worker pool's queue is full, no further cohorts are built and pending
+    jobs accumulate until admission control starts rejecting.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[CohortEntry]], None],
+        max_batch: int = 64,
+        max_latency: float = 0.005,
+        on_shed: Optional[Callable[[PosteriorRequest], None]] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_latency < 0:
+            raise ValueError("max_latency must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_latency = float(max_latency)
+        self._dispatch = dispatch
+        self._on_shed = on_shed
+        self._clock = clock
+        self._pending: Deque[CohortEntry] = deque()
+        self._cond = threading.Condition()
+        self._stop = False
+        self._drain = False
+        self._thread: Optional[threading.Thread] = None
+        self.num_flushes = 0
+        self.num_full_flushes = 0
+        self.num_latency_flushes = 0
+        self.num_shed_requests = 0
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(target=self._run, name="posterior-scheduler", daemon=True)
+        self._thread.start()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the flush thread; ``drain`` flushes remaining jobs first."""
+        with self._cond:
+            self._stop = True
+            self._drain = drain
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # ----------------------------------------------------------------- admission
+    def submit(self, entries: List[CohortEntry]) -> None:
+        """Append one request's trace jobs (called from client threads)."""
+        with self._cond:
+            if self._stop:
+                raise RuntimeError("scheduler is stopped")
+            self._pending.extend(entries)
+            self._cond.notify_all()
+
+    @property
+    def pending_jobs(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def cancel_pending(self, error_factory: Callable[[PosteriorRequest], BaseException]) -> int:
+        """Drop every pending job, failing each distinct affected request."""
+        with self._cond:
+            entries = list(self._pending)
+            self._pending.clear()
+        cancelled = 0
+        for entry in entries:
+            if entry.request.fail(error_factory(entry.request)):
+                cancelled += 1
+        return cancelled
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "num_flushes": self.num_flushes,
+            "num_full_flushes": self.num_full_flushes,
+            "num_latency_flushes": self.num_latency_flushes,
+            "num_shed_requests": self.num_shed_requests,
+            "pending_jobs": self.pending_jobs,
+            "max_batch": self.max_batch,
+            "max_latency": self.max_latency,
+        }
+
+    # -------------------------------------------------------------- flush thread
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stop:
+                    self._cond.wait()
+                if self._stop and not (self._drain and self._pending):
+                    break
+                now = self._clock()
+                flush_at = self._pending[0].request.enqueued_at + self.max_latency
+                if len(self._pending) < self.max_batch and now < flush_at and not self._stop:
+                    # Not enough co-batchable work yet: sleep until the oldest
+                    # request's latency budget is spent (or more jobs arrive,
+                    # which re-notifies and re-evaluates).
+                    self._cond.wait(timeout=flush_at - now)
+                    continue
+                cohort, shed = self._build_cohort(now)
+            # Dispatch outside the lock so admissions continue while the
+            # worker queue applies backpressure.
+            for request in shed:
+                self.num_shed_requests += 1
+                if self._on_shed is not None:
+                    self._on_shed(request)
+            if cohort:
+                self.num_flushes += 1
+                if len(cohort) >= self.max_batch:
+                    self.num_full_flushes += 1
+                else:
+                    self.num_latency_flushes += 1
+                try:
+                    self._dispatch(cohort)
+                except BaseException as error:  # noqa: BLE001 - routed to futures
+                    # A dispatch failure must not kill the flush thread (that
+                    # would strand every future ever submitted) — fail the
+                    # cohort's requests and keep serving.
+                    for entry in cohort:
+                        entry.request.fail(error)
+
+    def _build_cohort(self, now: float):
+        """Pop up to ``max_batch`` live jobs; collect newly expired requests."""
+        cohort: List[CohortEntry] = []
+        shed: List[PosteriorRequest] = []
+        shed_ids = set()
+        while self._pending and len(cohort) < self.max_batch:
+            entry = self._pending.popleft()
+            request = entry.request
+            if request.failed or request.request_id in shed_ids:
+                continue  # already failed/shed: drop its remaining jobs
+            if request.expired(now):
+                shed.append(request)
+                shed_ids.add(request.request_id)
+                continue
+            cohort.append(entry)
+        return cohort, shed

@@ -1,0 +1,434 @@
+"""The posterior inference service: admission, batching, caching, metrics.
+
+:class:`PosteriorService` is the public front end of the serving subsystem.
+A request travels:
+
+1. **cache** — a fingerprint of (observation, model id, num_traces) is looked
+   up; a hit resolves immediately with a frozen posterior summary.
+2. **admission control** — the pending-job queue is bounded; a request whose
+   trace jobs would overflow it is rejected with ``ServiceOverloaded`` (shed
+   at the door, not buffered into unbounded latency).
+3. **micro-batching** — the scheduler coalesces the request's trace jobs with
+   every other in-flight request into lockstep cohorts (max-batch/max-latency
+   flush policy) and the worker pool executes them, sharding flushed batches
+   across idle workers.
+4. **completion** — finished traces are reassembled in submission order, the
+   importance weights are formed exactly as the one-shot engine forms them,
+   the result is frozen into the cache, and the client future resolves.
+
+Seeded equivalence: a request submitted with ``seed=s`` returns the same
+posterior as ``engine.posterior(model, observation, num_traces, rng=
+RandomState(s))``, because both derive per-trace streams with
+:func:`repro.ppl.inference.batched.per_trace_rngs` — cohort packing only
+changes which NN forwards were shared, never the samples drawn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from itertools import count
+from typing import Any, Dict, List, Optional
+
+from repro.common.rng import RandomState, get_rng
+from repro.distributed.inference import shard_jobs
+from repro.ppl.empirical import Empirical
+from repro.ppl.model import RemoteModel
+from repro.ppl.inference.batched import (
+    TraceJob,
+    form_log_weights,
+    new_engine_stats,
+    per_trace_rngs,
+    resolve_observation_array,
+    run_mixed_cohort,
+)
+from repro.serving.cache import PosteriorCache, observation_fingerprint
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import (
+    DeadlineExceeded,
+    PosteriorRequest,
+    ServedPosterior,
+    ServiceOverloaded,
+    ServingError,
+)
+from repro.serving.scheduler import CohortEntry, MicroBatchScheduler
+from repro.serving.workers import CohortWorkerPool
+
+__all__ = ["PosteriorService"]
+
+
+class PosteriorService:
+    """Serve amortized posterior inference over a trained network.
+
+    Parameters
+    ----------
+    model:
+        The generative model (local :class:`repro.ppl.model.Model`; remote
+        PPX models are served too, but execute their cohorts sequentially).
+    network:
+        The trained :class:`repro.ppl.nn.inference_network.InferenceNetwork`
+        (or ``None`` to serve likelihood weighting from the prior).
+    max_batch:
+        Lockstep cohort capacity — the micro-batching ceiling.
+    max_latency:
+        Seconds a lone request waits for co-batchable traffic before its
+        cohort is flushed anyway.
+    num_workers / shard_min:
+        Worker-pool width; a flushed batch is split over idle workers into
+        shards of at least ``shard_min`` jobs (cohorts are independent
+        importance-sampling streams, so sharding never changes results).
+    queue_capacity:
+        Bound on pending trace jobs; admission control rejects beyond it.
+    cache_capacity / cache_ttl:
+        Observation-keyed posterior cache size and staleness bound.
+    """
+
+    def __init__(
+        self,
+        model,
+        network=None,
+        *,
+        observe_key: Optional[str] = None,
+        max_batch: int = 64,
+        max_latency: float = 0.005,
+        num_workers: int = 2,
+        shard_min: int = 16,
+        queue_capacity: int = 4096,
+        cache_capacity: int = 256,
+        cache_ttl: Optional[float] = None,
+        default_num_traces: int = 100,
+        rng: Optional[RandomState] = None,
+        name: str = "posterior-service",
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if default_num_traces < 1:
+            raise ValueError("default_num_traces must be >= 1")
+        self.model = model
+        self.network = network
+        self.observe_key = observe_key
+        self.name = name
+        self.default_num_traces = int(default_num_traces)
+        self.queue_capacity = int(queue_capacity)
+        self.shard_min = max(1, int(shard_min))
+        self._rng = rng or get_rng()
+        self.metrics = ServingMetrics()
+        self.cache = PosteriorCache(capacity=cache_capacity, ttl=cache_ttl)
+        # A remote simulator multiplexes one unsynchronized PPX transport, so
+        # its executions must never run on two workers at once — the same
+        # constraint the engine applies within a cohort.
+        if isinstance(model, RemoteModel):
+            num_workers = 1
+        self.workers = CohortWorkerPool(self._execute_cohort, num_workers=num_workers)
+        self.scheduler = MicroBatchScheduler(
+            self._dispatch,
+            max_batch=max_batch,
+            max_latency=max_latency,
+            on_shed=self._shed,
+        )
+        self._engine_stats = new_engine_stats()
+        self._stats_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._request_ids = count()
+        self._inflight: Dict[int, PosteriorRequest] = {}
+        #: single-flight registry: cache key -> the in-flight request computing it
+        self._inflight_keys: Dict[str, PosteriorRequest] = {}
+        self._running = False
+        model_name = getattr(model, "name", type(model).__name__)
+        self._model_id = f"{model_name}/{observe_key or ''}/{id(network)}"
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "PosteriorService":
+        if self._running:
+            raise RuntimeError("service already started")
+        self.workers.start()
+        self.scheduler.start()
+        self._running = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop serving; ``drain`` finishes admitted requests first."""
+        if not self._running:
+            return
+        self._running = False
+        self.scheduler.stop(drain=drain)
+        if not drain:
+            self.scheduler.cancel_pending(
+                lambda request: ServiceOverloaded("service stopped before request ran")
+            )
+        self.workers.stop()
+        # Anything still unresolved (e.g. stop(drain=False) raced a cohort) is
+        # failed rather than left hanging on its future forever.
+        for request in list(self._inflight.values()):
+            request.fail(ServingError("service stopped"))
+
+    def __enter__(self) -> "PosteriorService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ admission
+    def submit(
+        self,
+        observation: Dict[str, Any],
+        num_traces: Optional[int] = None,
+        *,
+        seed: Optional[int] = None,
+        rng: Optional[RandomState] = None,
+        deadline: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> "Future[ServedPosterior]":
+        """Admit one posterior request; returns a future of :class:`ServedPosterior`.
+
+        ``seed``/``rng`` pin the request's random stream (for reproducibility
+        and the seeded-equivalence guarantee); by default a fresh stream is
+        derived from the service rng.  ``deadline`` is seconds from now —
+        a request that cannot start in time is shed with ``DeadlineExceeded``.
+        With ``use_cache=True`` an identical query may be answered by the
+        cache or by coalescing onto an identical in-flight request (both
+        ignore ``seed``); ``use_cache=False`` forces a fresh seeded inference
+        run (and refreshes the cache entry).
+        """
+        if not self._running:
+            raise ServiceOverloaded("service is not running")
+        num_traces = self.default_num_traces if num_traces is None else int(num_traces)
+        if num_traces < 1:
+            raise ValueError("num_traces must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive seconds from now")
+        # Validation errors (bad observe key) surface here, not on a worker.
+        observation_array = resolve_observation_array(self.network, observation, self.observe_key)
+
+        self.metrics.record_submitted()
+        key = observation_fingerprint(observation, self._model_id, num_traces)
+        if use_cache:
+            # The miss is not recorded yet: it may still be resolved by
+            # single-flight coalescing below, in which case both the cache's
+            # stats and the serving metrics count it as a hit.
+            cached = self.cache.get(key, record_miss=False)
+            if cached is not None:
+                self.metrics.record_cache(True)
+                future: "Future[ServedPosterior]" = Future()
+                result = ServedPosterior(
+                    request_id=next(self._request_ids),
+                    posterior=cached,
+                    cached=True,
+                    latency=0.0,
+                    num_traces=num_traces,
+                )
+                self.metrics.record_completed(0.0, num_traces, cached=True)
+                future.set_result(result)
+                return future
+
+        with self._admission_lock:
+            if use_cache:
+                # Single-flight: an identical query already being computed
+                # answers this one too — concurrent clients asking for the
+                # same posterior (the thundering-herd case the cache alone
+                # cannot catch, because nothing is cached until the first
+                # finishes) share one inference run.  Only now is the cache
+                # outcome known: coalescing counts as a hit, anything else as
+                # the miss the earlier lookup found.
+                primary = self._inflight_keys.get(key)
+                if primary is not None:
+                    return self._attach_to_inflight(primary, num_traces)
+                self.cache.record_miss()
+                self.metrics.record_cache(False)
+            if self.scheduler.pending_jobs + num_traces > self.queue_capacity:
+                self.metrics.record_rejected()
+                raise ServiceOverloaded(
+                    f"pending queue full ({self.scheduler.pending_jobs} jobs pending, "
+                    f"capacity {self.queue_capacity})"
+                )
+            request_id = next(self._request_ids)
+            request = PosteriorRequest(
+                request_id,
+                observation,
+                num_traces,
+                deadline=None if deadline is None else time.monotonic() + deadline,
+            )
+            request.cache_key = key  # type: ignore[attr-defined]
+            self._inflight_keys[key] = request
+            # Cleanup rides on the future itself, so *every* resolution path
+            # (completion, worker failure, shedding, scheduler-side failure,
+            # stop) clears the single-flight registry and in-flight table.
+            request.future.add_done_callback(lambda _done, _request=request: self._finish(_request))
+            # Identical stream derivation to the one-shot engine: the request
+            # rng is consumed exactly as batched_importance_sampling consumes
+            # its rng argument (under the admission lock — shared-stream
+            # submits must not interleave).
+            request_rng = rng or (RandomState(seed) if seed is not None else self._rng)
+            trace_rngs = per_trace_rngs(request_rng, num_traces)
+            entries = [
+                CohortEntry(
+                    TraceJob(request_id, observation, observation_array, trace_rng),
+                    request,
+                    position,
+                )
+                for position, trace_rng in enumerate(trace_rngs)
+            ]
+            self._inflight[request_id] = request
+            self.scheduler.submit(entries)
+        return request.future
+
+    def posterior(
+        self,
+        observation: Dict[str, Any],
+        num_traces: Optional[int] = None,
+        *,
+        seed: Optional[int] = None,
+        rng: Optional[RandomState] = None,
+        deadline: Optional[float] = None,
+        use_cache: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServedPosterior:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        future = self.submit(
+            observation, num_traces, seed=seed, rng=rng, deadline=deadline, use_cache=use_cache
+        )
+        return future.result(timeout=timeout)
+
+    def _attach_to_inflight(
+        self, primary: PosteriorRequest, num_traces: int
+    ) -> "Future[ServedPosterior]":
+        """Resolve this request from an identical in-flight request's result.
+
+        The attached request shares the primary's outcome — its posterior on
+        success, its error if the primary is shed or fails.  Like a cache
+        hit, this ignores the submitter's seed; pass ``use_cache=False`` to
+        pin seed semantics.
+        """
+        future: "Future[ServedPosterior]" = Future()
+        request_id = next(self._request_ids)
+        started = time.monotonic()
+        self.cache.record_hit()
+        self.metrics.record_cache(True)
+
+        def _resolve(done) -> None:
+            error = done.exception()
+            if error is not None:
+                future.set_exception(error)
+                return
+            latency = time.monotonic() - started
+            self.metrics.record_completed(latency, num_traces, cached=True)
+            future.set_result(
+                ServedPosterior(
+                    request_id=request_id,
+                    posterior=done.result().posterior,
+                    cached=True,
+                    latency=latency,
+                    num_traces=num_traces,
+                )
+            )
+
+        primary.future.add_done_callback(_resolve)
+        return future
+
+    # ------------------------------------------------------------------ internals
+    def _dispatch(self, entries: List[CohortEntry]) -> None:
+        """Scheduler flush hook: shard the batch over workers and enqueue."""
+        # Occupancy is a property of the flush against the scheduler's cohort
+        # capacity; recording per worker shard would cap the observable
+        # occupancy at 1/num_workers even at total saturation.
+        requests = {entry.request.request_id for entry in entries}
+        self.metrics.record_cohort(len(entries), self.scheduler.max_batch, len(requests))
+        shards = shard_jobs(entries, self.workers.num_workers, min_shard_size=self.shard_min)
+        for shard in shards:
+            try:
+                self.workers.submit(shard, self._on_cohort_done)
+            except BaseException as error:  # noqa: BLE001 - routed to futures
+                for entry in shard:
+                    if entry.request.fail(error):
+                        self.metrics.record_failed()
+
+    def _execute_cohort(self, jobs: List[TraceJob]):
+        """Worker hook: run one lockstep cohort through the mixed engine."""
+        stats = new_engine_stats()
+        started = time.perf_counter()
+        traces = run_mixed_cohort(self.model, jobs, self.network, stats)
+        self.metrics.record_phase("cohort_execution", time.perf_counter() - started)
+        with self._stats_lock:
+            for stat_name, value in stats.items():
+                self._engine_stats[stat_name] += value
+        return traces
+
+    def _on_cohort_done(self, entries: List[CohortEntry], traces, error) -> None:
+        """Worker completion hook: route traces (or the failure) to requests."""
+        if error is not None:
+            for entry in entries:
+                if entry.request.fail(error):
+                    self.metrics.record_failed()
+            return
+        completed = []
+        for entry, trace in zip(entries, traces):
+            if entry.request.deliver(entry.position, trace):
+                completed.append(entry.request)
+        for request in completed:
+            try:
+                self._finalize(request)
+            except BaseException as finalize_error:  # noqa: BLE001 - to the future
+                # fail() also works on a fully-delivered request, so a crash
+                # while *forming* the posterior still reaches the client.
+                if request.fail(finalize_error):
+                    self.metrics.record_failed()
+
+    def _finalize(self, request: PosteriorRequest) -> None:
+        """All traces delivered: form weights, cache, resolve the future.
+
+        The attached ``engine_stats`` is the service-lifetime cumulative
+        snapshot (cohorts are shared across requests, so there is no exact
+        per-request attribution) — see :class:`ServedPosterior`.
+        """
+        traces = request.traces()
+        log_weights = form_log_weights(traces, self.network)
+        posterior = Empirical(
+            traces, log_weights, name=f"{self.name}/request-{request.request_id}"
+        )
+        with self._stats_lock:
+            posterior.engine_stats = dict(self._engine_stats)
+        self.cache.put(request.cache_key, posterior.freeze())  # type: ignore[attr-defined]
+        latency = time.monotonic() - request.enqueued_at
+        result = ServedPosterior(
+            request_id=request.request_id,
+            posterior=posterior,
+            cached=False,
+            latency=latency,
+            num_traces=request.num_traces,
+        )
+        if request.complete(result):
+            self.metrics.record_completed(latency, request.num_traces, cached=False)
+
+    def _finish(self, request: PosteriorRequest) -> None:
+        """Future done-callback: drop the request from the in-flight tables.
+
+        Runs on whichever thread resolved the future (worker, scheduler,
+        client submitting ``stop``), for success and failure alike — so no
+        failure path can leave a stale ``_inflight_keys`` entry that would
+        feed its old error to every later coalesced query.
+        """
+        self._inflight.pop(request.request_id, None)
+        key = getattr(request, "cache_key", None)
+        with self._admission_lock:
+            if key is not None and self._inflight_keys.get(key) is request:
+                del self._inflight_keys[key]
+
+    def _shed(self, request: PosteriorRequest) -> None:
+        """Scheduler shed hook: the request's deadline passed while queued."""
+        if request.fail(
+            DeadlineExceeded(
+                f"request {request.request_id} shed: deadline passed before dispatch"
+            )
+        ):
+            self.metrics.record_shed()
+
+    # ----------------------------------------------------------------- reporting
+    def stats(self) -> Dict[str, Any]:
+        """Merged metrics/cache/scheduler/engine snapshot."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["scheduler"] = self.scheduler.stats()
+        with self._stats_lock:
+            snapshot["engine"] = dict(self._engine_stats)
+        return snapshot

@@ -1,0 +1,87 @@
+"""Cohort worker pool: execute flushed cohorts on parallel workers.
+
+Cohorts are independent importance-sampling streams (every trace job carries
+its own derived random stream), so they parallelise exactly like the ranks of
+:func:`repro.distributed.inference.distributed_importance_sampling`: no
+synchronisation is needed between cohorts, and results are identical to
+sequential execution no matter which worker ran what.  The pool is the
+serving counterpart of that driver — a fixed set of worker threads pulling
+cohorts from a bounded queue, whose fullness is the backpressure signal that
+stalls the scheduler (and, transitively, admission control).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["CohortWorkerPool"]
+
+_SENTINEL = object()
+
+
+class CohortWorkerPool:
+    """Runs ``run_cohort(jobs)`` calls on ``num_workers`` threads.
+
+    ``submit(entries, callback)`` blocks while the dispatch queue is full —
+    that is deliberate: the scheduler thread is the only submitter, and its
+    blocking pauses cohort building until a worker frees up.  ``callback``
+    runs on the worker thread with ``(entries, traces, error)``; exactly one
+    of ``traces``/``error`` is set.
+    """
+
+    def __init__(
+        self,
+        run_cohort: Callable[[Sequence[Any]], List[Any]],
+        num_workers: int = 2,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._run_cohort = run_cohort
+        self.num_workers = int(num_workers)
+        capacity = queue_capacity if queue_capacity is not None else 2 * self.num_workers
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max(1, capacity))
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("worker pool already started")
+        self._started = True
+        self._threads = [
+            threading.Thread(target=self._run, name=f"cohort-worker-{index}", daemon=True)
+            for index in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Finish queued cohorts, then stop every worker."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._started = False
+
+    # ------------------------------------------------------------------ dispatch
+    def submit(self, entries: Sequence[Any], callback: Callable[..., None]) -> None:
+        """Enqueue one cohort (blocks while the queue is full — backpressure)."""
+        self._queue.put((entries, callback))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            entries, callback = item
+            try:
+                traces = self._run_cohort([entry.job for entry in entries])
+            except BaseException as error:  # noqa: BLE001 - delivered to requests
+                callback(entries, None, error)
+            else:
+                callback(entries, traces, None)

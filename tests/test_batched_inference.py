@@ -14,7 +14,11 @@ from repro import ppl
 from repro.common.rng import RandomState
 from repro.distributions import Normal, Uniform
 from repro.ppl import FunctionModel
-from repro.ppl.inference import batched_importance_sampling, per_trace_rngs
+from repro.ppl.inference import (
+    batched_importance_sampling,
+    mixed_batched_importance_sampling,
+    per_trace_rngs,
+)
 from repro.ppl.inference.inference_compilation import InferenceCompilation
 from repro.ppl.nn.embeddings import ObservationEmbeddingFC
 from repro.distributed.inference import distributed_importance_sampling, partition_traces
@@ -260,6 +264,74 @@ class TestFallbackAndPriorModes:
         draws_b = [s.random() for s in streams_b]
         assert draws_a == draws_b
         assert len(set(draws_a)) == 4
+
+
+class TestMixedObservationEngine:
+    """Requests for different observations share cohorts without changing results."""
+
+    OBSERVATION_B = {"obs": np.array([-0.5, 0.2, 0.4, 0.1])}
+
+    def test_mixed_requests_match_direct_runs(self, lockstep_engine):
+        model, engine = lockstep_engine
+        requests = [
+            (OBSERVATION, 10, RandomState(31)),
+            (self.OBSERVATION_B, 14, RandomState(32)),
+            (OBSERVATION, 6, RandomState(33)),
+        ]
+        served = mixed_batched_importance_sampling(
+            model, requests, batch_size=16, network=engine.network
+        )
+        assert [len(result) for result in served] == [10, 14, 6]
+        for (observation, num_traces, _), result in zip(requests, served):
+            direct = batched_importance_sampling(
+                model, observation, num_traces=num_traces, batch_size=64,
+                network=engine.network,
+                rng=RandomState({10: 31, 14: 32, 6: 33}[num_traces]),
+            )
+            for latent in ("a", "b", "c"):
+                assert result.extract(latent).mean == pytest.approx(
+                    direct.extract(latent).mean, abs=1e-9
+                )
+            assert result.log_evidence == pytest.approx(direct.log_evidence, abs=1e-9)
+
+    def test_duplicate_observations_share_embeddings(self, lockstep_engine):
+        model, engine = lockstep_engine
+        # Two requests for the SAME observation in one cohort: the session
+        # must embed the observation once, not once per slot or per request.
+        served = mixed_batched_importance_sampling(
+            model,
+            [(OBSERVATION, 8, RandomState(41)), (OBSERVATION, 8, RandomState(42))],
+            batch_size=16,
+            network=engine.network,
+        )
+        stats = served[0].engine_stats
+        assert stats["num_cohorts"] == 1
+        assert stats["num_observation_embeddings"] == 1
+
+    def test_prior_mode_and_validation(self, gaussian_model):
+        results = mixed_batched_importance_sampling(
+            gaussian_model,
+            [({"obs": 0.5}, 20, RandomState(1)), ({"obs": -0.5}, 20, RandomState(2))],
+            batch_size=8,
+            network=None,
+        )
+        assert results[0].extract("mu").mean > results[1].extract("mu").mean
+        with pytest.raises(ValueError):
+            mixed_batched_importance_sampling(gaussian_model, [({"obs": 0.0}, 0, None)])
+        with pytest.raises(ValueError):
+            mixed_batched_importance_sampling(
+                gaussian_model, [({"obs": 0.0}, 4, None)], batch_size=0
+            )
+
+    def test_posterior_many_wiring(self, lockstep_engine):
+        model, engine = lockstep_engine
+        many = engine.posterior_many(
+            model,
+            [(OBSERVATION, 8, RandomState(51)), (self.OBSERVATION_B, 8, RandomState(52))],
+            batch_size=16,
+        )
+        direct = engine.posterior(model, OBSERVATION, num_traces=8, rng=RandomState(51))
+        assert many[0].extract("a").mean == pytest.approx(direct.extract("a").mean, abs=1e-9)
 
 
 class TestInferenceCompilationWiring:

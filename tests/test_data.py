@@ -1,6 +1,7 @@
 """Tests for the data subsystem: shard store, datasets, sorting, batching, sampler."""
 
 import os
+import pickle
 
 import numpy as np
 import pytest
@@ -76,6 +77,49 @@ class TestShardStore:
     def test_invalid_records_per_shard(self, tmp_path):
         with pytest.raises(ValueError):
             ShardStore(str(tmp_path / "x"), records_per_shard=0)
+
+    def test_crash_during_index_write_keeps_previous_index(self, tmp_path, monkeypatch):
+        # Regression: flush() used to write index.pkl in place, so a crash
+        # mid-pickle corrupted the shard index and orphaned every shard file.
+        # The atomic temp-file + os.replace path must leave the previous
+        # index fully readable (and no torn .tmp file behind).
+        directory = str(tmp_path / "shards")
+        store = ShardStore(directory, records_per_shard=5)
+        store.extend({"value": i} for i in range(7))
+        store.flush()
+
+        store.extend({"value": i} for i in range(7, 12))
+
+        real_dump = pickle.dump
+
+        def exploding_dump(obj, handle, *args, **kwargs):
+            if isinstance(obj, dict) and "index" in obj:
+                handle.write(b"torn!")  # partial bytes reach the target file
+                raise OSError("simulated crash mid-flush")
+            return real_dump(obj, handle, *args, **kwargs)
+
+        monkeypatch.setattr("repro.data.shelf.pickle.dump", exploding_dump)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.flush()
+        monkeypatch.undo()
+
+        assert not os.path.exists(os.path.join(directory, "index.pkl.tmp"))
+        reopened = ShardStore(directory)
+        assert len(reopened) == 7
+        assert reopened[6] == {"value": 6}
+
+    def test_flush_is_reloadable_after_interrupted_flush(self, tmp_path):
+        # A later successful flush fully recovers: the replace is the only
+        # publication point, so the index is either the old or the new one.
+        directory = str(tmp_path / "shards")
+        store = ShardStore(directory, records_per_shard=4)
+        store.extend({"value": i} for i in range(9))
+        store.flush()
+        store.extend({"value": i} for i in range(9, 14))
+        store.flush()
+        reopened = ShardStore(directory)
+        assert len(reopened) == 14
+        assert reopened[13] == {"value": 13}
 
 
 class TestTraceDataset:

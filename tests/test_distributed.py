@@ -332,3 +332,23 @@ class TestLoadBalance:
     def test_unknown_scheme_rejected(self, tiny_tau_dataset):
         with pytest.raises(ValueError):
             evaluate_scheme(tiny_tau_dataset, scheme="bogus")
+
+
+class TestShardJobs:
+    def test_even_and_uneven_sharding(self):
+        from repro.distributed import shard_jobs
+
+        jobs = list(range(10))
+        shards = shard_jobs(jobs, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert [j for shard in shards for j in shard] == jobs  # order preserved
+
+    def test_min_shard_size_caps_shard_count(self):
+        from repro.distributed import shard_jobs
+
+        jobs = list(range(10))
+        assert len(shard_jobs(jobs, 8, min_shard_size=4)) == 2
+        assert len(shard_jobs(jobs, 8, min_shard_size=16)) == 1  # too small to split
+        assert shard_jobs([], 4) == []
+        with pytest.raises(ValueError):
+            shard_jobs(jobs, 4, min_shard_size=0)

@@ -177,6 +177,44 @@ class TestDiagnostics:
         assert effective_sample_size(iid) > effective_sample_size(correlated)
         assert effective_sample_size(iid) <= 5000 * 1.2
 
+    def test_fft_autocorrelation_matches_direct_estimator(self):
+        # The FFT path is an exact O(n log n) rewrite of the O(n*max_lag)
+        # direct loop (zero-padding makes the circular correlation linear),
+        # so the two must agree to floating-point precision on real chains.
+        for seed, phi in ((0, 0.8), (1, 0.2), (2, 0.99)):
+            chain = self._ar1(phi, n=3000, seed=seed)
+            direct = autocorrelation(chain, max_lag=200, method="direct")
+            fft = autocorrelation(chain, max_lag=200, method="fft")
+            assert np.allclose(fft, direct, atol=1e-10)
+
+    def test_fft_autocorrelation_matches_direct_on_short_and_constant(self):
+        short = np.array([0.3, -1.2, 0.7, 0.1, 2.0])
+        assert np.allclose(
+            autocorrelation(short, method="fft"),
+            autocorrelation(short, method="direct"),
+            atol=1e-12,
+        )
+        assert np.allclose(autocorrelation(np.ones(50), max_lag=4), 1.0)
+
+    def test_autocorrelation_unknown_method(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(10), method="wavelet")
+
+    def test_vectorized_ess_matches_per_chain(self):
+        chains = np.stack([self._ar1(phi, n=2000, seed=s) for s, phi in enumerate((0.1, 0.6, 0.9))])
+        batched = effective_sample_size(chains)
+        assert batched.shape == (3,)
+        for row, chain in zip(batched, chains):
+            assert row == pytest.approx(effective_sample_size(chain), rel=1e-12)
+        # Heavier correlation must monotonically cost effective samples.
+        assert batched[0] > batched[1] > batched[2]
+
+    def test_effective_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            effective_sample_size(np.zeros((3, 1)))
+
     def test_gelman_rubin_converged_chains_near_one(self):
         rng = np.random.default_rng(0)
         chains = [rng.standard_normal(4000) for _ in range(4)]

@@ -262,3 +262,61 @@ class TestTransports:
         with pytest.raises(ConnectionError):
             client.receive(timeout=2.0)
         client.close()
+
+
+class TestControllerTimeouts:
+    """A simulator that never responds must raise TimeoutError, not block."""
+
+    def test_handshake_timeout_raises_clear_timeout_error(self):
+        from repro.ppx.server import SimulatorController
+
+        ppl_side, _sim_side = make_queue_pair()  # simulator never sends anything
+        controller = SimulatorController(ppl_side)
+        with pytest.raises(TimeoutError, match="Handshake"):
+            controller.accept_handshake(timeout=0.05)
+
+    def test_run_timeout_when_simulator_goes_silent_mid_run(self):
+        from repro.ppx.server import SimulatorController
+
+        ppl_side, sim_side = make_queue_pair()
+
+        def silent_simulator():
+            sim_side.send(Handshake(system_name="stuck-sim", model_name="stuck"))
+            sim_side.receive(timeout=5.0)  # HandshakeResult
+            sim_side.receive(timeout=5.0)  # consume Run, then never answer
+
+        thread = threading.Thread(target=silent_simulator, daemon=True)
+        thread.start()
+        controller = SimulatorController(ppl_side)
+        with pytest.raises(TimeoutError, match="waiting for the next message of its Run"):
+            controller.run_trace(
+                sample_policy=lambda address, dist, request: dist.sample(),
+                timeout=0.2,
+            )
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_remote_model_propagates_run_timeout(self):
+        from repro.ppl.model import RemoteModel
+
+        ppl_side, sim_side = make_queue_pair()
+
+        def one_draw_then_silence():
+            sim_side.send(Handshake(system_name="stuck-sim", model_name="stuck"))
+            sim_side.receive(timeout=5.0)  # HandshakeResult
+            sim_side.receive(timeout=5.0)  # Run
+            sim_side.send(
+                SampleRequest(
+                    address="addr_a", distribution=Uniform(0.0, 1.0).to_dict(), control=True
+                )
+            )
+            sim_side.receive(timeout=5.0)  # SampleResult answered by the controller
+            # ... and then the simulator hangs forever.
+
+        thread = threading.Thread(target=one_draw_then_silence, daemon=True)
+        thread.start()
+        remote = RemoteModel(ppl_side, run_timeout=0.2)
+        with pytest.raises(TimeoutError, match="did not respond"):
+            remote.get_trace()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
