@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,20 +47,30 @@ class RandomState:
         self._seed = seed
         self._gen = np.random.default_rng(seed)
 
-    def spawn(self, key: int) -> "RandomState":
+    def spawn(self, key: Union[int, Tuple[int, ...]]) -> "RandomState":
         """Derive an independent child stream keyed by ``key``.
 
         Used to give every simulated MPI rank / every worker its own stream
         that is a pure function of (parent seed, key).  The derivation uses a
         :class:`numpy.random.SeedSequence` so that different keys give
         statistically independent streams.
+
+        ``key`` may also be a tuple of ints: each element becomes its own
+        SeedSequence entropy word, so composite keys such as ``(base, index)``
+        are *mixed* rather than summed — ``(b, i)`` and ``(b + 1, i - 1)``
+        yield unrelated streams, which is what
+        :func:`repro.ppl.inference.batched.per_trace_rngs` relies on to keep
+        concurrent requests' trace streams collision-free.
         """
         base = self._seed if isinstance(self._seed, int) else hash(self._seed) & 0xFFFFFFFF
         if base is None:
             base = 0
-        seq = np.random.SeedSequence(entropy=[int(base) & 0xFFFFFFFF, int(key) & 0xFFFFFFFF])
-        child = RandomState(seed=None, name=f"{self.name}/{key}")
-        child._seed = (base, key)
+        keys: Tuple[int, ...] = key if isinstance(key, tuple) else (key,)
+        entropy = [int(base) & 0xFFFFFFFF] + [int(k) & 0xFFFFFFFF for k in keys]
+        seq = np.random.SeedSequence(entropy=entropy)
+        label = "/".join(str(k) for k in keys)
+        child = RandomState(seed=None, name=f"{self.name}/{label}")
+        child._seed = (base,) + keys
         child._gen = np.random.default_rng(seq)
         return child
 

@@ -83,9 +83,10 @@ def distributed_importance_sampling(
     Parameters
     ----------
     num_ranks:
-        Number of independent IS streams; rank r draws its randomness from
-        ``rng.spawn(r)`` so the merged result is reproducible and independent
-        of ``parallel``.
+        Number of independent IS streams; rank r draws its randomness from a
+        child stream mixed from ``(base, r)`` via
+        :func:`repro.ppl.inference.batched.per_trace_rngs`, so the merged
+        result is reproducible and independent of ``parallel``.
     parallel:
         Run ranks on threads instead of sequentially.  Statistically
         identical; useful when the simulator releases the GIL or the per-rank

@@ -12,6 +12,14 @@ from repro.distributions.truncated_normal import TruncatedNormal
 from repro.distributions.mixture import Mixture
 from repro.distributions.multivariate_normal import MultivariateNormal
 from repro.distributions.scalars import Bernoulli, Beta, Exponential, Gamma, Poisson
+from repro.distributions.batched import (
+    BatchedCategorical,
+    BatchedDistribution,
+    BatchedDistributionList,
+    BatchedMixtureOfTruncatedNormals,
+    BatchedNormal,
+    BatchedRowView,
+)
 
 __all__ = [
     "Distribution",
@@ -28,4 +36,10 @@ __all__ = [
     "Exponential",
     "Poisson",
     "Bernoulli",
+    "BatchedDistribution",
+    "BatchedRowView",
+    "BatchedNormal",
+    "BatchedCategorical",
+    "BatchedMixtureOfTruncatedNormals",
+    "BatchedDistributionList",
 ]

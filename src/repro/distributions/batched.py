@@ -1,0 +1,458 @@
+"""Array-parameterised batched distributions for lockstep proposal steps.
+
+One batched proposal step of the lockstep engine used to materialise B
+:class:`~repro.distributions.mixture.Mixture` objects (plus B·K truncated
+normal component objects) only to draw a single sample and score a single
+log-density per trace.  Profiling after the serving subsystem landed showed
+that this per-trace distribution-object churn — not NN compute — was the
+engine's per-trace cost floor.
+
+The classes here make the same move pyprob and vectorised PPLs (NumPyro et
+al.) make: hold the whole address group's parameters as ``(B, ...)``-shaped
+arrays in **one** object, keep ``sample``/``log_prob`` on array math, and hand
+each worker slot a cheap :class:`BatchedRowView` into its row instead of a
+freshly built per-trace object.
+
+Three contracts matter:
+
+* **Row equivalence** — ``row(i).sample(rng)`` consumes ``rng`` exactly as
+  the per-object distribution the row replaces would (component choice, then
+  one uniform/normal draw), and ``row(i).log_prob(v)`` evaluates the same
+  floating-point expression, so swapping the lockstep engine onto batched
+  objects leaves seeded posteriors bit-identical to the per-object path.
+* **O(1) objects per step** — constructing a batched distribution allocates a
+  fixed number of arrays, never per-row component objects; ``row(i)`` is a
+  two-field view.
+* **Vectorised bulk paths** — :meth:`sample_rows` / :meth:`log_prob_rows`
+  evaluate all B rows in array math (per-row generators are still consumed
+  row by row so the draws match ``row(i).sample(rngs[i])``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+from scipy.special import logsumexp, ndtr, ndtri
+
+from repro.common.rng import RandomState, get_rng
+from repro.distributions.categorical import Categorical
+from repro.distributions.distribution import Distribution
+from repro.distributions.mixture import Mixture
+from repro.distributions.normal import Normal
+from repro.distributions.truncated_normal import TruncatedNormal, stable_truncation_z
+
+__all__ = [
+    "BatchedDistribution",
+    "BatchedRowView",
+    "BatchedNormal",
+    "BatchedCategorical",
+    "BatchedMixtureOfTruncatedNormals",
+    "BatchedDistributionList",
+]
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+class BatchedRowView(Distribution):
+    """A lightweight view of one row of a :class:`BatchedDistribution`.
+
+    Quacks like the per-trace distribution object the row replaces — the
+    execution-state controllers (:class:`repro.ppl.state.ProposalController`)
+    only ever call ``sample(rng)`` and ``log_prob(value)`` on a proposal, and
+    both delegate straight into the parent's row arrays.  Anything heavier
+    (moments, serialisation) goes through :meth:`materialize`, which builds
+    the equivalent stand-alone distribution; that path is for debugging and
+    wire formats, never the inference hot loop.
+    """
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, parent: "BatchedDistribution", index: int) -> None:
+        self.parent = parent
+        self.index = int(index)
+
+    # ------------------------------------------------------------- hot path
+    def sample(self, rng: Optional[RandomState] = None, size=None):
+        if size is not None:
+            return self.materialize().sample(rng, size=size)
+        return self.parent._sample_row(self.index, self._rng(rng))
+
+    def log_prob(self, value) -> np.ndarray:
+        return self.parent._log_prob_row(self.index, value)
+
+    # ------------------------------------------------------------ cold path
+    def materialize(self) -> Distribution:
+        """The equivalent stand-alone distribution for this row."""
+        return self.parent.row_distribution(self.index)
+
+    @property
+    def discrete(self) -> bool:  # type: ignore[override]
+        return self.parent.discrete
+
+    @property
+    def mean(self):
+        return self.materialize().mean
+
+    @property
+    def variance(self):
+        return self.materialize().variance
+
+    def to_dict(self):
+        return self.materialize().to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchedRowView({type(self.parent).__name__}, index={self.index})"
+
+
+class BatchedDistribution:
+    """Common interface of array-parameterised batched distributions.
+
+    Not itself a :class:`Distribution`: it represents B independent
+    distributions whose parameters live in shared ``(B, ...)`` arrays.  The
+    per-row API (:meth:`row`) serves the lockstep engine's worker slots; the
+    bulk API (:meth:`sample_rows` / :meth:`log_prob_rows`) serves vectorised
+    callers.
+    """
+
+    batch_size: int
+    discrete: bool = False
+
+    def row(self, index: int) -> BatchedRowView:
+        """A cheap per-slot view of row ``index`` (no parameter copies)."""
+        if not 0 <= index < self.batch_size:
+            raise IndexError(f"row {index} out of range for batch of {self.batch_size}")
+        return BatchedRowView(self, index)
+
+    def rows(self) -> List[BatchedRowView]:
+        return [BatchedRowView(self, index) for index in range(self.batch_size)]
+
+    def sample_rows(self, rngs: Union[RandomState, Sequence[RandomState], None] = None) -> np.ndarray:
+        """One draw per row: ``out[i]`` is distributed as row ``i``.
+
+        ``rngs`` may be one shared :class:`RandomState` or a sequence of B
+        per-row states; with per-row states the draws are identical to
+        ``[self.row(i).sample(rngs[i]) for i in range(B)]``.
+        """
+        raise NotImplementedError
+
+    def log_prob_rows(self, values) -> np.ndarray:
+        """``out[i] = log p_i(values[i])``, evaluated in one array pass."""
+        raise NotImplementedError
+
+    def row_distribution(self, index: int) -> Distribution:
+        """Materialise row ``index`` as a stand-alone distribution object."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+    def _per_row_generators(self, rngs) -> List[np.random.Generator]:
+        if rngs is None:
+            rngs = get_rng()
+        if isinstance(rngs, RandomState):
+            generator = rngs.generator
+            return [generator] * self.batch_size
+        if len(rngs) != self.batch_size:
+            raise ValueError(
+                f"sample_rows needs one rng per row ({self.batch_size}), got {len(rngs)}"
+            )
+        return [rng.generator for rng in rngs]
+
+    def _sample_row(self, index: int, generator: np.random.Generator):
+        raise NotImplementedError
+
+    def _log_prob_row(self, index: int, value) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BatchedNormal(BatchedDistribution):
+    """B independent scalar normals held as ``(B,)`` parameter arrays."""
+
+    def __init__(self, locs, scales) -> None:
+        self.locs = np.asarray(locs, dtype=float).reshape(-1)
+        self.scales = np.broadcast_to(
+            np.asarray(scales, dtype=float), self.locs.shape
+        ).astype(float)
+        if np.any(self.scales <= 0):
+            raise ValueError("scale must be positive")
+        self.batch_size = int(self.locs.shape[0])
+        self._log_scales = np.log(self.scales)
+
+    def _sample_row(self, index: int, generator: np.random.Generator):
+        return generator.normal(self.locs[index], self.scales[index])
+
+    def _log_prob_row(self, index: int, value) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        z = (value - self.locs[index]) / self.scales[index]
+        return -0.5 * z * z - self._log_scales[index] - _LOG_SQRT_2PI
+
+    def sample_rows(self, rngs=None) -> np.ndarray:
+        generators = self._per_row_generators(rngs)
+        return np.array(
+            [generators[i].normal(self.locs[i], self.scales[i]) for i in range(self.batch_size)]
+        )
+
+    def log_prob_rows(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float).reshape(-1)
+        z = (values - self.locs) / self.scales
+        return -0.5 * z * z - self._log_scales - _LOG_SQRT_2PI
+
+    def row_distribution(self, index: int) -> Normal:
+        return Normal(self.locs[index], self.scales[index])
+
+
+class BatchedCategorical(BatchedDistribution):
+    """B independent categoricals over ``0..K-1`` held as a ``(B, K)`` array."""
+
+    discrete = True
+
+    def __init__(self, probs) -> None:
+        probs_arr = np.asarray(probs, dtype=float)
+        if probs_arr.ndim != 2:
+            raise ValueError("probs must be a (batch, categories) matrix")
+        if np.any(probs_arr < 0):
+            raise ValueError("probabilities must be non-negative")
+        totals = probs_arr.sum(axis=-1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("probabilities must sum to a positive value")
+        self.probs = probs_arr / totals
+        self.batch_size = int(self.probs.shape[0])
+        self.num_categories = int(self.probs.shape[1])
+        self._log_probs = np.log(np.clip(self.probs, 1e-300, None))
+
+    def _sample_row(self, index: int, generator: np.random.Generator):
+        return int(generator.choice(self.num_categories, size=None, p=self.probs[index]))
+
+    def _log_prob_row(self, index: int, value) -> np.ndarray:
+        idx = np.asarray(value, dtype=np.int64)
+        valid = (idx >= 0) & (idx < self.num_categories)
+        if not np.all(valid):
+            safe = np.where(valid, idx, 0)
+            return np.where(valid, self._log_probs[index][safe], -np.inf)
+        return self._log_probs[index][idx]
+
+    def sample_rows(self, rngs=None) -> np.ndarray:
+        generators = self._per_row_generators(rngs)
+        return np.array(
+            [
+                int(generators[i].choice(self.num_categories, size=None, p=self.probs[i]))
+                for i in range(self.batch_size)
+            ]
+        )
+
+    def log_prob_rows(self, values) -> np.ndarray:
+        idx = np.asarray(values, dtype=np.int64).reshape(-1)
+        valid = (idx >= 0) & (idx < self.num_categories)
+        safe = np.where(valid, idx, 0)
+        picked = np.take_along_axis(self._log_probs, safe[:, None], axis=-1)[:, 0]
+        return np.where(valid, picked, -np.inf)
+
+    def row_distribution(self, index: int) -> Categorical:
+        return Categorical(self.probs[index])
+
+
+class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
+    """B mixtures of K (truncated) normals held as ``(B, K)`` parameter arrays.
+
+    The shape every continuous proposal layer emits: per row, K component
+    means/scales/weights plus a shared truncation interval.  Rows whose prior
+    is unbounded (``bounded[i]`` false) behave as plain normal mixtures — same
+    density and, crucially, the same rng consumption as the per-object
+    :class:`Mixture` of :class:`Normal` they stand in for (one ``normal``
+    draw), while bounded rows reproduce :class:`TruncatedNormal`'s tail-side
+    inverse-CDF sampling (one ``uniform`` draw).
+
+    All normalisation constants are computed vectorised at construction —
+    two ``ndtr`` calls for the whole batch instead of two per component
+    object — and no per-component objects are ever allocated.
+    """
+
+    def __init__(self, locs, scales, weights, lows=None, highs=None, bounded=None) -> None:
+        self.locs = np.asarray(locs, dtype=float)
+        if self.locs.ndim != 2:
+            raise ValueError("locs must be a (batch, components) matrix")
+        batch, components = self.locs.shape
+        self.scales = np.broadcast_to(np.asarray(scales, dtype=float), self.locs.shape).astype(float)
+        if np.any(self.scales <= 0):
+            raise ValueError("scale must be positive")
+        weights_arr = np.asarray(weights, dtype=float)
+        weights_arr = np.broadcast_to(weights_arr, self.locs.shape).astype(float)
+        if np.any(weights_arr < 0):
+            raise ValueError("mixture weights must be non-negative")
+        totals = weights_arr.sum(axis=-1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("mixture weights must sum to a positive value")
+        self.weights = weights_arr / totals
+        self._log_weights = np.log(np.clip(self.weights, 1e-300, None))
+        self.batch_size = int(batch)
+        self.num_components = int(components)
+
+        lows_arr = np.full(batch, -np.inf) if lows is None else np.asarray(lows, dtype=float).reshape(-1)
+        highs_arr = np.full(batch, np.inf) if highs is None else np.asarray(highs, dtype=float).reshape(-1)
+        if lows_arr.shape != (batch,) or highs_arr.shape != (batch,):
+            raise ValueError("lows/highs must supply one bound per row")
+        if bounded is None:
+            bounded_arr = np.isfinite(lows_arr) | np.isfinite(highs_arr)
+        else:
+            bounded_arr = np.asarray(bounded, dtype=bool).reshape(-1)
+            if bounded_arr.shape != (batch,):
+                raise ValueError("bounded must supply one flag per row")
+        self.lows = np.where(bounded_arr, lows_arr, -np.inf)
+        self.highs = np.where(bounded_arr, highs_arr, np.inf)
+        self.bounded = bounded_arr
+        if np.any(bounded_arr & ~(self.highs > self.lows)):
+            raise ValueError("high must be greater than low")
+
+        # Truncation geometry for every (row, component) at once.  Unbounded
+        # rows get alpha=-inf / beta=+inf, for which Z = 1 and log Z = 0, so
+        # the density math below is uniform across rows and bit-identical to
+        # the untruncated normal expression on unbounded ones.
+        with np.errstate(invalid="ignore"):
+            self._alphas = (self.lows[:, None] - self.locs) / self.scales
+            self._betas = (self.highs[:, None] - self.locs) / self.scales
+        # The one shared stable-Z definition (see stable_truncation_z): using
+        # anything else here would break bit-identity with the per-object
+        # TruncatedNormal components.
+        zs, self._degenerate = stable_truncation_z(self._alphas, self._betas)
+        self._zs = zs
+        self._log_zs = np.log(zs)
+        self._log_scales = np.log(self.scales)
+        self._sf_lows = ndtr(-self._alphas)
+        self._cdf_lows = ndtr(self._alphas)
+
+    # --------------------------------------------------------------- sampling
+    def _sample_component(self, index: int, component: int, generator: np.random.Generator):
+        loc = self.locs[index, component]
+        scale = self.scales[index, component]
+        if not self.bounded[index]:
+            return generator.normal(loc, scale)
+        u = generator.uniform(0.0, 1.0)
+        z = self._zs[index, component]
+        if self._alphas[index, component] >= 0:
+            value = loc - scale * ndtri(np.clip(self._sf_lows[index, component] - u * z, 1e-300, 1.0))
+        else:
+            value = loc + scale * ndtri(np.clip(self._cdf_lows[index, component] + u * z, 1e-300, 1.0))
+        return np.clip(value, self.lows[index], self.highs[index])
+
+    def _sample_row(self, index: int, generator: np.random.Generator):
+        component = int(generator.choice(self.num_components, p=self.weights[index]))
+        return self._sample_component(index, component, generator)
+
+    def sample_rows(self, rngs=None) -> np.ndarray:
+        generators = self._per_row_generators(rngs)
+        # The generator draws stay per row (each row owns its stream and must
+        # consume it exactly as row(i).sample would); the inverse-CDF math
+        # over the chosen components is then evaluated in one array pass.
+        components = np.zeros(self.batch_size, dtype=np.int64)
+        # Zero-filled (not empty) scratch: unbounded rows leave their uniform
+        # unset and bounded rows their normal; garbage bit patterns would
+        # still flow through the vectorized math below before being masked.
+        uniforms = np.zeros(self.batch_size)
+        normals = np.zeros(self.batch_size)
+        for i in range(self.batch_size):
+            components[i] = int(generators[i].choice(self.num_components, p=self.weights[i]))
+            if self.bounded[i]:
+                uniforms[i] = generators[i].uniform(0.0, 1.0)
+            else:
+                normals[i] = generators[i].normal(
+                    self.locs[i, components[i]], self.scales[i, components[i]]
+                )
+        rows = np.arange(self.batch_size)
+        locs = self.locs[rows, components]
+        scales = self.scales[rows, components]
+        out = np.empty(self.batch_size)
+        free = ~self.bounded
+        if np.any(free):
+            out[free] = normals[free]
+        trunc = self.bounded
+        if np.any(trunc):
+            zs = self._zs[rows, components]
+            right = self._alphas[rows, components] >= 0
+            quantile = np.where(
+                right,
+                self._sf_lows[rows, components] - uniforms * zs,
+                self._cdf_lows[rows, components] + uniforms * zs,
+            )
+            values = np.where(right, -1.0, 1.0) * ndtri(np.clip(quantile, 1e-300, 1.0))
+            values = np.clip(locs + scales * values, self.lows, self.highs)
+            out[trunc] = values[trunc]
+        return out
+
+    # ---------------------------------------------------------------- density
+    def _log_prob_row(self, index: int, value) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        expanded = value[..., None]
+        z = (expanded - self.locs[index]) / self.scales[index]
+        log_pdf = -0.5 * z * z - self._log_scales[index] - _LOG_SQRT_2PI - self._log_zs[index]
+        inside = (expanded >= self.lows[index]) & (expanded <= self.highs[index])
+        log_pdf = np.where(inside, log_pdf, -np.inf)
+        return logsumexp(self._log_weights[index] + log_pdf, axis=-1)
+
+    def log_prob_rows(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float).reshape(-1, 1)
+        z = (values - self.locs) / self.scales
+        log_pdf = -0.5 * z * z - self._log_scales - _LOG_SQRT_2PI - self._log_zs
+        inside = (values >= self.lows[:, None]) & (values <= self.highs[:, None])
+        log_pdf = np.where(inside, log_pdf, -np.inf)
+        return logsumexp(self._log_weights + log_pdf, axis=-1)
+
+    # ------------------------------------------------------------ cold paths
+    def row_distribution(self, index: int) -> Mixture:
+        if self.bounded[index]:
+            components: List[Distribution] = TruncatedNormal.batch_build(
+                self.locs[index],
+                self.scales[index],
+                np.full(self.num_components, self.lows[index]),
+                np.full(self.num_components, self.highs[index]),
+            )
+        else:
+            components = [
+                Normal(self.locs[index, k], self.scales[index, k])
+                for k in range(self.num_components)
+            ]
+        return Mixture(components, self.weights[index])
+
+
+class BatchedDistributionList(BatchedDistribution):
+    """Adapter presenting a list of per-row distributions as a batch.
+
+    The compatibility fallback for custom proposal layers that only implement
+    the per-object ``proposal_distributions``: ``row(i)`` hands back the i-th
+    object itself, so downstream code can rely on the batched interface
+    without every layer implementing an array-parameterised path.
+    """
+
+    def __init__(self, distributions: Sequence[Distribution]) -> None:
+        if len(distributions) == 0:
+            raise ValueError("need at least one distribution")
+        self.distributions = list(distributions)
+        self.batch_size = len(self.distributions)
+        self.discrete = all(d.discrete for d in self.distributions)
+
+    def row(self, index: int):  # type: ignore[override]
+        if not 0 <= index < self.batch_size:
+            raise IndexError(f"row {index} out of range for batch of {self.batch_size}")
+        return self.distributions[index]
+
+    def sample_rows(self, rngs=None) -> np.ndarray:
+        generators = self._per_row_generators(rngs)
+        del generators  # validation only; per-object sampling consumes RandomStates
+        if rngs is None or isinstance(rngs, RandomState):
+            rngs = [rngs] * self.batch_size
+        return np.array(
+            [np.asarray(d.sample(rng)) for d, rng in zip(self.distributions, rngs)]
+        )
+
+    def log_prob_rows(self, values) -> np.ndarray:
+        # No flattening: wrapped distributions may be vector-valued, so
+        # values[i] is row i's (possibly non-scalar) value as given.
+        if len(values) != self.batch_size:
+            raise ValueError(
+                f"log_prob_rows needs one value per row ({self.batch_size}), got {len(values)}"
+            )
+        return np.array(
+            [float(np.sum(d.log_prob(v))) for d, v in zip(self.distributions, values)]
+        )
+
+    def row_distribution(self, index: int) -> Distribution:
+        return self.distributions[index]

@@ -105,8 +105,24 @@ class Distribution:
             return False
         for key in a:
             va, vb = a[key], b[key]
-            if isinstance(va, (list, tuple, np.ndarray)):
-                if not np.allclose(np.asarray(va, dtype=float), np.asarray(vb, dtype=float)):
+            if isinstance(va, (list, tuple, np.ndarray)) or isinstance(vb, (list, tuple, np.ndarray)):
+                # Non-broadcastable parameter shapes (e.g. a scalar-loc Normal
+                # vs a grid-likelihood Normal over a differently shaped grid)
+                # mean "not equal", not "crash": np.allclose raises on them.
+                # Non-numeric payloads (e.g. Mixture's list of component
+                # dicts) cannot be compared numerically at all — fall back to
+                # structural equality for those.
+                try:
+                    arr_a = np.asarray(va, dtype=float)
+                    arr_b = np.asarray(vb, dtype=float)
+                except (ValueError, TypeError):
+                    equal = va == vb  # non-numeric payload: structural equality
+                else:
+                    try:
+                        equal = bool(np.allclose(arr_a, arr_b))
+                    except ValueError:
+                        equal = False  # numeric but non-broadcastable shapes
+                if not equal:
                     return False
             elif va != vb:
                 return False

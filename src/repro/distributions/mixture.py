@@ -124,15 +124,23 @@ class Mixture(Distribution):
 
     @property
     def mean(self):
-        return float(np.sum([w * np.asarray(c.mean) for w, c in zip(self.weights, self.components)]))
+        # Weighted sum per coordinate: forcing float(np.sum(...)) here used to
+        # collapse vector-valued component means into one scalar (summing
+        # across coordinates), silently corrupting summaries of vector
+        # mixtures.  Scalar mixtures still return a plain float.
+        total = sum(w * np.asarray(c.mean, dtype=float) for w, c in zip(self.weights, self.components))
+        total = np.asarray(total)
+        return float(total) if total.ndim == 0 else total
 
     @property
     def variance(self):
-        mean = self.mean
-        second_moment = np.sum(
-            [w * (np.asarray(c.variance) + np.asarray(c.mean) ** 2) for w, c in zip(self.weights, self.components)]
+        mean = np.asarray(self.mean)
+        second_moment = sum(
+            w * (np.asarray(c.variance, dtype=float) + np.asarray(c.mean, dtype=float) ** 2)
+            for w, c in zip(self.weights, self.components)
         )
-        return float(second_moment - mean**2)
+        result = np.asarray(second_moment - mean**2)
+        return float(result) if result.ndim == 0 else result
 
     def to_dict(self):
         return {

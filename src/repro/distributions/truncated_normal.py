@@ -17,9 +17,38 @@ from scipy.special import log_ndtr, ndtr, ndtri
 from repro.common.rng import RandomState
 from repro.distributions.distribution import Distribution, register_distribution
 
-__all__ = ["TruncatedNormal"]
+__all__ = ["TruncatedNormal", "stable_truncation_z"]
 
 _LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+def stable_truncation_z(alphas, betas):
+    """``Z = Phi(beta) - Phi(alpha)`` with tail-side evaluation, vectorised.
+
+    When the whole interval sits in one tail, the naive difference of two CDF
+    values close to 1 loses precision catastrophically, so Z is evaluated in
+    whichever tail keeps both values small.  Returns ``(zs, degenerate)``
+    where ``degenerate`` marks elements whose Z underflowed to <= 0 and was
+    floored at 1e-300 (moment formulas must not divide by the floor).
+
+    This is THE single definition of the truncation normalisation used by
+    :class:`TruncatedNormal` (scalar and :meth:`TruncatedNormal.batch_build`)
+    and by the array-parameterised
+    :class:`repro.distributions.batched.BatchedMixtureOfTruncatedNormals` —
+    the lockstep engine's bit-identity guarantee between per-object and
+    batched proposals rests on all three sharing it.
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    betas = np.asarray(betas, dtype=float)
+    right_tail = alphas >= 0
+    zs = np.where(
+        right_tail,
+        ndtr(-alphas) - ndtr(-betas),
+        ndtr(betas) - ndtr(alphas),
+    )
+    degenerate = zs <= 0
+    zs = np.where(degenerate, 1e-300, zs)
+    return zs, degenerate
 
 
 @register_distribution
@@ -37,18 +66,9 @@ class TruncatedNormal(Distribution):
             raise ValueError("high must be greater than low")
         self._alpha = (self.low - self.loc) / self.scale
         self._beta = (self.high - self.loc) / self.scale
-        # Normalisation constant Z = Phi(beta) - Phi(alpha).  When the whole
-        # interval sits in one tail, the naive difference of two values close
-        # to 1 loses precision catastrophically, so compute it in whichever
-        # tail keeps both CDF values small.
-        if self._alpha >= 0:
-            self._z = float(ndtr(-self._alpha) - ndtr(-self._beta))
-        else:
-            self._z = float(ndtr(self._beta) - ndtr(self._alpha))
-        if self._z <= 0:
-            # Both bounds so deep in a tail that even the stable form
-            # underflows: fall back to a tiny mass to keep log_prob finite.
-            self._z = 1e-300
+        z, degenerate = stable_truncation_z(self._alpha, self._beta)
+        self._z = float(z)
+        self._degenerate = bool(degenerate)
         self._log_z = float(np.log(self._z))
         # log_prob runs once per latent draw per execution; cache the constant.
         self._log_scale = math.log(self.scale)
@@ -74,15 +94,7 @@ class TruncatedNormal(Distribution):
             raise ValueError("high must be greater than low")
         alphas = (lows - locs) / scales
         betas = (highs - locs) / scales
-        # Evaluate Z in whichever tail keeps both CDF values small (see
-        # __init__); vectorized over all components.
-        right_tail = alphas >= 0
-        zs = np.where(
-            right_tail,
-            ndtr(-alphas) - ndtr(-betas),
-            ndtr(betas) - ndtr(alphas),
-        )
-        zs = np.where(zs <= 0, 1e-300, zs)
+        zs, degenerate = stable_truncation_z(alphas, betas)
         log_zs = np.log(zs)
         log_scales = np.log(scales)
         out = []
@@ -95,6 +107,7 @@ class TruncatedNormal(Distribution):
             instance._alpha = float(alphas[i])
             instance._beta = float(betas[i])
             instance._z = float(zs[i])
+            instance._degenerate = bool(degenerate[i])
             instance._log_z = float(log_zs[i])
             instance._log_scale = float(log_scales[i])
             out.append(instance)
@@ -123,18 +136,37 @@ class TruncatedNormal(Distribution):
 
     @property
     def mean(self):
+        if self._degenerate:
+            # Z underflowed: the whole interval is so deep in one tail that
+            # essentially all truncated mass sits at the endpoint nearest the
+            # untruncated mode.  Dividing by the 1e-300 placeholder instead
+            # would report astronomically wrong moments.
+            return self.low if self._alpha >= 0 else self.high
         phi_a = math.exp(-0.5 * self._alpha**2) / math.sqrt(2 * math.pi)
         phi_b = math.exp(-0.5 * self._beta**2) / math.sqrt(2 * math.pi)
-        return self.loc + self.scale * (phi_a - phi_b) / self._z
+        value = self.loc + self.scale * (phi_a - phi_b) / self._z
+        # Near-degenerate truncations (Z tiny through catastrophic
+        # cancellation rather than a clean underflow) can push the formula
+        # outside the support; any valid mean lies in [low, high].
+        return float(min(max(value, self.low), self.high))
 
     @property
     def variance(self):
+        if self._degenerate:
+            # Endpoint limit (see mean): the distribution collapses onto the
+            # near boundary, so the spread vanishes.
+            return 0.0
         phi_a = math.exp(-0.5 * self._alpha**2) / math.sqrt(2 * math.pi)
         phi_b = math.exp(-0.5 * self._beta**2) / math.sqrt(2 * math.pi)
         a_term = self._alpha * phi_a if math.isfinite(self._alpha) else 0.0
         b_term = self._beta * phi_b if math.isfinite(self._beta) else 0.0
         correction = (a_term - b_term) / self._z - ((phi_a - phi_b) / self._z) ** 2
-        return self.scale**2 * (1.0 + correction)
+        value = self.scale**2 * (1.0 + correction)
+        # No distribution supported on [low, high] has variance above the
+        # two-point-mass bound ((high - low) / 2)^2, and none below 0; the
+        # near-degenerate formula can violate both.
+        upper = (0.5 * (self.high - self.low)) ** 2
+        return float(min(max(value, 0.0), upper))
 
     def to_dict(self):
         return {

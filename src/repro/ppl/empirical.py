@@ -104,10 +104,26 @@ class Empirical:
         return Empirical(values, log_weights, name=f"{self.name}.{name}")
 
     def _numeric(self) -> np.ndarray:
+        """Scalar projection of the values feeding mean/variance/quantile/histogram.
+
+        Multi-element values are refused: the old ``reshape(-1)[0]`` silently
+        summarised only the first coordinate of a vector latent as if it were
+        the whole value.  Project explicitly instead, e.g.
+        ``posterior.map_values(lambda v: v[2]).mean``.
+        """
         if self._numeric_cache is None:
-            cache = np.asarray(
-                [float(np.asarray(v, dtype=float).reshape(-1)[0]) for v in self.values]
-            )
+            cache = np.empty(len(self.values))
+            for index, value in enumerate(self.values):
+                arr = np.asarray(value, dtype=float)
+                if arr.size != 1:
+                    raise ValueError(
+                        f"cannot form a scalar summary of {self.name!r}: value at index "
+                        f"{index} has shape {arr.shape} ({arr.size} elements); summaries "
+                        "like mean/variance/quantile/histogram need scalar values — "
+                        "project one coordinate first, e.g. "
+                        ".map_values(lambda v: np.asarray(v).reshape(-1)[i])"
+                    )
+                cache[index] = float(arr.reshape(()))
             cache.setflags(write=False)
             self._numeric_cache = cache
         return self._numeric_cache

@@ -61,13 +61,22 @@ def per_trace_rngs(rng: RandomState, num_traces: int) -> List[RandomState]:
     """Derive one independent child random stream per trace (or per rank).
 
     One draw is consumed from ``rng`` so repeated calls yield fresh streams;
-    beyond that the child streams are a pure function of (master seed, trace
-    index), which makes inference results independent of how traces are
+    beyond that the child streams are a pure function of (master seed, base,
+    trace index), which makes inference results independent of how traces are
     partitioned into cohorts.  The distributed driver uses the same scheme to
     derive per-rank streams.
+
+    The child key mixes ``(base, index)`` as separate SeedSequence entropy
+    words rather than summing them: with the old ``base + index`` keying, two
+    requests whose random 31-bit bases landed within ``num_traces`` of each
+    other shared *identical* trace streams for the overlapping indices — a
+    birthday collision that serving traffic (thousands of requests, each
+    drawing a fresh base) makes probable.  Mixing removes the overlap
+    entirely; the cost is that fixed-seed draw sequences differ from
+    pre-fix releases (posterior *statistics* are unaffected).
     """
     base = int(rng.generator.integers(0, 2**31 - 1))
-    return [rng.spawn(base + index) for index in range(num_traces)]
+    return [rng.spawn((base, index)) for index in range(num_traces)]
 
 
 class _LockstepCoordinator:
@@ -204,7 +213,11 @@ class _TrackingProposalController(ProposalController):
     from.
 
     ``request(address, prior, previous_value)`` returns the proposal
-    distribution (or ``None`` for the prior fallback).
+    distribution (or ``None`` for the prior fallback).  Since the lockstep
+    session answers with :class:`repro.distributions.batched.BatchedRowView`
+    objects — cheap views into one array-parameterised batched distribution
+    per address group — the controller treats proposals purely through the
+    ``sample``/``log_prob`` duck type and never assumes a concrete class.
     """
 
     def __init__(self, request: Callable) -> None:
@@ -272,9 +285,13 @@ def _drive_cohort(model, session, slot_observations, rngs, stats) -> List[Trace]
     return traces  # type: ignore[return-value]
 
 
-def _run_cohort(model, observation, network, observation_array, rngs, stats) -> List[Trace]:
+def _run_cohort(
+    model, observation, network, observation_array, rngs, stats, batched_proposals=True
+) -> List[Trace]:
     """Execute one cohort of ``len(rngs)`` guided executions in lockstep."""
-    session = network.batched_session(observation_array, len(rngs))
+    session = network.batched_session(
+        observation_array, len(rngs), batched_proposals=batched_proposals
+    )
     return _drive_cohort(model, session, [observation] * len(rngs), rngs, stats)
 
 
@@ -472,6 +489,7 @@ def batched_importance_sampling(
     observe_key: Optional[str] = None,
     rng: Optional[RandomState] = None,
     trace_callback: Optional[Callable[[Trace, float], None]] = None,
+    batched_proposals: bool = True,
 ) -> Empirical:
     """Run importance sampling with cohorts of lockstep guided executions.
 
@@ -497,6 +515,12 @@ def batched_importance_sampling(
     observe_key:
         Which entry of ``observation`` feeds the observation embedding
         (defaults to ``network.observe_key`` or the single entry).
+    batched_proposals:
+        ``True`` (default) answers each lockstep address group with one
+        array-parameterised batched distribution whose row views the workers
+        sample; ``False`` selects the legacy per-object emission (B mixtures
+        plus components per step), kept as the equivalence/benchmark
+        reference.  Both produce bit-identical traces.
 
     Returns
     -------
@@ -532,7 +556,15 @@ def batched_importance_sampling(
             )
         else:
             traces.extend(
-                _run_cohort(model, observation, network, observation_array, cohort_rngs, stats)
+                _run_cohort(
+                    model,
+                    observation,
+                    network,
+                    observation_array,
+                    cohort_rngs,
+                    stats,
+                    batched_proposals=batched_proposals,
+                )
             )
 
     log_weights = form_log_weights(traces, network, trace_callback)

@@ -223,9 +223,19 @@ class InferenceNetwork(Module):
         """Start a guided-execution session for one observation y."""
         return ProposalSession(self, observation)
 
-    def batched_session(self, observation, batch_size: int) -> "BatchedProposalSession":
-        """Start a lockstep session advancing ``batch_size`` executions at once."""
-        return BatchedProposalSession(self, observation, batch_size)
+    def batched_session(
+        self, observation, batch_size: int, batched_proposals: bool = True
+    ) -> "BatchedProposalSession":
+        """Start a lockstep session advancing ``batch_size`` executions at once.
+
+        ``batched_proposals=False`` selects the legacy per-object proposal
+        emission (one ``Mixture`` + components per trace per step) instead of
+        the array-parameterised batched objects; it exists as the equivalence
+        and benchmark reference, not for production use.
+        """
+        return BatchedProposalSession(
+            self, observation, batch_size, batched_proposals=batched_proposals
+        )
 
     def mixed_batched_session(self, observations: Sequence[Any]) -> "BatchedProposalSession":
         """Start a lockstep session whose slots condition on *different* observations.
@@ -370,6 +380,14 @@ class BatchedProposalSession:
     cohort — the entry point the serving subsystem's micro-batching scheduler
     coalesces into.  Distinct observations are embedded once each
     (:attr:`num_observation_embeddings` counts the forwards actually paid).
+
+    Proposal emission defaults to array-parameterised batched distributions
+    (:mod:`repro.distributions.batched`): each address group's step builds
+    ONE object holding the group's ``(B, K)`` parameters, and every slot is
+    answered with a row view whose ``sample``/``log_prob`` are bit-identical
+    to the per-trace ``Mixture``/``Categorical`` it replaces.  Construct with
+    ``batched_proposals=False`` to get the legacy per-object emission (the
+    benchmark/equivalence reference).
     """
 
     def __init__(
@@ -378,11 +396,16 @@ class BatchedProposalSession:
         observation,
         batch_size: int,
         observations: Optional[Sequence[Any]] = None,
+        batched_proposals: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.network = network
         self.batch_size = int(batch_size)
+        #: emit one array-parameterised object per address group (the default
+        #: hot path) instead of B per-trace distribution objects (the legacy
+        #: reference path kept for equivalence tests and benchmarks).
+        self.batched_proposals = bool(batched_proposals)
         if observations is not None:
             if len(observations) != self.batch_size:
                 raise ValueError("observations must supply one entry per slot")
@@ -503,8 +526,16 @@ class BatchedProposalSession:
                 self._h[layer][slots] = h.data
                 self._c[layer][slots] = c.data
             priors = [prior for _, prior, _ in members]
-            distributions = network.proposal_layers[address].proposal_distributions(hidden, priors)
-        out: Dict[int, Distribution] = {}
+            layer = network.proposal_layers[address]
+            if self.batched_proposals:
+                # One array-parameterised object for the whole group; each
+                # slot receives a cheap row view instead of a freshly built
+                # per-trace Mixture (O(1) objects per step, not O(B*K)).
+                batch = layer.proposal_batch(hidden, priors)
+                distributions: Sequence[Any] = [batch.row(row) for row in range(len(members))]
+            else:
+                distributions = layer.proposal_distributions(hidden, priors)
+        out: Dict[int, Any] = {}
         for (slot, prior, _), distribution in zip(members, distributions):
             self._prev_address[slot] = address
             self._prev_prior[slot] = prior

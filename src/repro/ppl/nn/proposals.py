@@ -15,10 +15,15 @@ Each proposal layer offers two views of the same parameterisation:
   ``-E[log q_phi(x|y)]`` of Algorithm 1, and
 * :meth:`proposal_distribution` — a plain numpy distribution object used at
   inference time by the importance-sampling controller, and
-* :meth:`proposal_distributions` — the batched counterpart used by the
-  lockstep engine (:mod:`repro.ppl.inference.batched`): one forward pass over
-  a ``(B, hidden)`` batch of LSTM outputs yields the B per-trace proposal
-  distributions at the same address.
+* :meth:`proposal_distributions` — the per-object batched counterpart: one
+  forward pass over a ``(B, hidden)`` batch of LSTM outputs yields the B
+  per-trace proposal distribution objects at the same address (retained as
+  the sequential engine's reference path), and
+* :meth:`proposal_batch` — the array-parameterised path the lockstep engine
+  (:mod:`repro.ppl.inference.batched`) uses: the same forward pass yields ONE
+  :class:`repro.distributions.batched.BatchedDistribution` holding the whole
+  group's ``(B, K)`` parameters, whose cheap row views replace the B
+  per-trace objects (and their B·K components) on the inference hot path.
 """
 
 from __future__ import annotations
@@ -28,6 +33,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.distributions import (
+    BatchedCategorical,
+    BatchedDistribution,
+    BatchedDistributionList,
+    BatchedMixtureOfTruncatedNormals,
     Categorical,
     Distribution,
     Mixture,
@@ -62,6 +71,20 @@ class ProposalLayer(Module):
         the shared address (their parameters may differ per trace).
         """
         raise NotImplementedError
+
+    def proposal_batch(self, hidden: Tensor, priors: Sequence[Distribution]) -> BatchedDistribution:
+        """One array-parameterised batched distribution for the whole group.
+
+        The lockstep engine's hot path: instead of materialising B per-trace
+        objects (plus their component objects), the built-in layers emit a
+        single batched object whose ``row(i)`` views are handed to the worker
+        slots.  Rows are sample- and density-equivalent (bit-identical) to
+        the objects ``proposal_distributions`` would build.  This base
+        implementation wraps the per-object list so custom layers that only
+        implement ``proposal_distributions`` keep working, just without the
+        O(1)-objects win.
+        """
+        return BatchedDistributionList(self.proposal_distributions(hidden, priors))
 
 
 class ProposalNormalMixture(ProposalLayer):
@@ -174,6 +197,24 @@ class ProposalNormalMixture(ProposalLayer):
             distributions.append(Mixture(components, weights_np[i]))
         return distributions
 
+    def proposal_batch(self, hidden: Tensor, priors: Sequence[Distribution]) -> BatchedDistribution:
+        """The whole group's proposals as ONE array-parameterised mixture.
+
+        Same transformed parameters as :meth:`proposal_distributions`, but no
+        per-trace ``Mixture`` (and no B·K component objects) is ever built:
+        the batched object holds the ``(B, K)`` parameter arrays and its row
+        views sample/score bit-identically to the per-object path.
+        """
+        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, list(priors))
+        return BatchedMixtureOfTruncatedNormals(
+            means.data,
+            scales.data,
+            np.exp(log_weights.data),
+            lows,
+            highs,
+            bounded=bounded,
+        )
+
 
 class ProposalCategorical(ProposalLayer):
     """Categorical proposal for discrete latents (e.g. the decay channel)."""
@@ -204,6 +245,17 @@ class ProposalCategorical(ProposalLayer):
                 row = 0.99 * row + 0.01 * prior.probs
             distributions.append(Categorical(row))
         return distributions
+
+    def proposal_batch(self, hidden: Tensor, priors: Sequence[Distribution]) -> BatchedDistribution:
+        """The whole group's categorical proposals as one ``(B, K)`` batch."""
+        logits = self.network(hidden)
+        probs = np.array(F.softmax(logits, axis=-1).data)
+        for i, prior in enumerate(priors):
+            # Same prior smoothing as the per-object path (keeps importance
+            # weights finite at categories the NN zeroes out).
+            if isinstance(prior, Categorical):
+                probs[i] = 0.99 * probs[i] + 0.01 * prior.probs
+        return BatchedCategorical(probs)
 
 
 def make_proposal_layer(

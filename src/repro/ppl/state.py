@@ -119,10 +119,17 @@ class ProposalController(Controller):
     """Draw from per-address proposal distributions q(x|y).
 
     ``proposal_provider(address, instance, prior, context)`` returns either a
-    :class:`Distribution` to sample from or ``None`` to fall back to the
-    prior.  The accumulated ``log_q`` (proposal) and ``log_prior`` terms give
-    the importance weight ``log p(x,y) - log q(x|y)`` when combined with the
+    proposal to sample from or ``None`` to fall back to the prior.  The
+    accumulated ``log_q`` (proposal) and ``log_prior`` terms give the
+    importance weight ``log p(x,y) - log q(x|y)`` when combined with the
     trace's likelihood.
+
+    The proposal is consumed purely through ``sample(rng)`` and
+    ``log_prob(value)``, so providers may return full
+    :class:`Distribution` objects (the sequential engine) or the lightweight
+    :class:`repro.distributions.batched.BatchedRowView` row views the
+    lockstep engine's array-parameterised proposal steps emit — the
+    controller is deliberately agnostic between the two.
     """
 
     def __init__(

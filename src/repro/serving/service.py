@@ -20,7 +20,12 @@ Seeded equivalence: a request submitted with ``seed=s`` returns the same
 posterior as ``engine.posterior(model, observation, num_traces, rng=
 RandomState(s))``, because both derive per-trace streams with
 :func:`repro.ppl.inference.batched.per_trace_rngs` — cohort packing only
-changes which NN forwards were shared, never the samples drawn.
+changes which NN forwards were shared, never the samples drawn.  That
+derivation mixes ``(base, trace index)`` into each child seed, so two
+concurrent requests can never share trace streams — the old ``base + index``
+keying collided whenever two requests' random bases landed within
+``num_traces`` of each other, which sustained serving traffic turns into a
+birthday near-certainty over the 2^31 base space.
 """
 
 from __future__ import annotations

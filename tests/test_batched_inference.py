@@ -265,6 +265,98 @@ class TestFallbackAndPriorModes:
         assert draws_a == draws_b
         assert len(set(draws_a)) == 4
 
+    def test_per_trace_rngs_adjacent_bases_do_not_collide(self):
+        # Regression: child seeds used to be base + index, so two requests
+        # whose random bases landed within num_traces of each other shared
+        # identical trace streams for the overlapping indices (request A,
+        # base b, trace i+1 == request B, base b+1, trace i).  Pin the bases
+        # to the worst case — adjacent — and require all streams distinct.
+        import types
+
+        bases = iter([1_000_000, 1_000_001])
+        master = RandomState(0)
+        master._gen = types.SimpleNamespace(
+            integers=lambda low, high=None, size=None: next(bases)
+        )
+        streams_a = per_trace_rngs(master, 6)
+        streams_b = per_trace_rngs(master, 6)
+        draws = [tuple(stream.random(size=4)) for stream in streams_a + streams_b]
+        assert len(set(draws)) == len(draws)
+
+
+class TestBatchedDistributionObjects:
+    """The lockstep engine's proposal steps build O(1) objects, not O(B*K)."""
+
+    def test_lockstep_builds_no_per_trace_proposal_objects(self, lockstep_engine, monkeypatch):
+        from repro.distributions import Mixture, TruncatedNormal
+
+        counts = {"mixtures": 0, "truncated_batches": 0}
+        original_init = Mixture.__init__
+        original_build = TruncatedNormal.batch_build.__func__
+
+        def counting_init(self, *args, **kwargs):
+            counts["mixtures"] += 1
+            return original_init(self, *args, **kwargs)
+
+        def counting_build(cls, *args, **kwargs):
+            counts["truncated_batches"] += 1
+            return original_build(cls, *args, **kwargs)
+
+        monkeypatch.setattr(Mixture, "__init__", counting_init)
+        monkeypatch.setattr(TruncatedNormal, "batch_build", classmethod(counting_build))
+        model, engine = lockstep_engine
+        batched_importance_sampling(
+            model, OBSERVATION, num_traces=32, batch_size=32,
+            network=engine.network, rng=RandomState(23),
+        )
+        # All proposal emission goes through array-parameterised batched
+        # objects: zero per-trace Mixtures, zero truncated-normal component
+        # builds, regardless of cohort size.
+        assert counts == {"mixtures": 0, "truncated_batches": 0}
+
+    def test_single_slot_lockstep_group_bit_identical(self, lockstep_engine):
+        # batch_size=1 cohorts route through _run_sequential, so the engine
+        # never runs a one-slot lockstep session; drive one directly to pin
+        # the degenerate single-member address group (which also arises as a
+        # divergence sub-batch inside larger cohorts).
+        from repro.distributions import Uniform
+        from repro.ppl.inference.batched import resolve_observation_array
+
+        _, engine = lockstep_engine
+        network = engine.network
+        observation_array = resolve_observation_array(network, OBSERVATION)
+        address = next(iter(network.address_specs))
+        prior = Uniform(-2.0, 2.0)
+        batched_session = network.batched_session(observation_array, 1)
+        per_object_session = network.batched_session(
+            observation_array, 1, batched_proposals=False
+        )
+        proposal_b = batched_session.proposals([(0, address, prior, None)])[0]
+        proposal_p = per_object_session.proposals([(0, address, prior, None)])[0]
+        value_b = proposal_b.sample(RandomState(5))
+        value_p = proposal_p.sample(RandomState(5))
+        assert float(value_b) == float(value_p)
+        assert float(proposal_b.log_prob(value_b)) == float(proposal_p.log_prob(value_p))
+
+    def test_batched_objects_bit_identical_to_per_object_engine(self, lockstep_engine):
+        model, engine = lockstep_engine
+        for batch_size in (16, 64):
+            batched_objects = batched_importance_sampling(
+                model, OBSERVATION, num_traces=64, batch_size=batch_size,
+                network=engine.network, rng=RandomState(29),
+            )
+            per_objects = batched_importance_sampling(
+                model, OBSERVATION, num_traces=64, batch_size=batch_size,
+                network=engine.network, rng=RandomState(29),
+                batched_proposals=False,
+            )
+            # Same NN forwards, same rng consumption, only the distribution
+            # representation differs -> the traces must agree bit for bit.
+            assert np.array_equal(batched_objects.log_weights, per_objects.log_weights)
+            for trace_a, trace_b in zip(batched_objects.values, per_objects.values):
+                for latent in ("a", "b", "c"):
+                    assert float(np.asarray(trace_a[latent])) == float(np.asarray(trace_b[latent]))
+
 
 class TestMixedObservationEngine:
     """Requests for different observations share cohorts without changing results."""

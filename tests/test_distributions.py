@@ -200,6 +200,30 @@ class TestTruncatedNormal:
         with pytest.raises(ValueError):
             TruncatedNormal.batch_build([0.0], [1.0], [1.0], [-1.0])
 
+    def test_degenerate_far_tail_moments_collapse_to_endpoint(self):
+        # Z underflows to exactly zero here (ndtr(-40) == 0.0); the old
+        # moment formulas divided by the 1e-300 placeholder and reported
+        # values off by hundreds of orders of magnitude.
+        right = TruncatedNormal(0.0, 1.0, 40.0, 41.0)
+        assert right._degenerate
+        assert right.mean == 40.0
+        assert right.variance == 0.0
+        left = TruncatedNormal(0.0, 1.0, -41.0, -40.0)
+        assert left.mean == -40.0
+        assert left.variance == 0.0
+        # batch_build carries the same degeneracy flag per element.
+        fast = TruncatedNormal.batch_build([0.0, 0.0], [1.0, 1.0], [40.0, -1.0], [41.0, 1.0])
+        assert fast[0]._degenerate and not fast[1]._degenerate
+        assert fast[0].mean == 40.0 and fast[0].variance == 0.0
+
+    def test_near_degenerate_moments_stay_inside_support(self):
+        # Z survives as a tiny non-zero value via catastrophic cancellation;
+        # the raw formulas put the mean outside [low, high] and the variance
+        # below zero.  Both are clamped to the feasible range.
+        dist = TruncatedNormal(0.0, 1.0, 10.0, 10.0 + 1e-13)
+        assert dist.low <= dist.mean <= dist.high
+        assert 0.0 <= dist.variance <= (0.5 * (dist.high - dist.low)) ** 2
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TruncatedNormal(0.0, 0.0, -1.0, 1.0)
@@ -223,6 +247,17 @@ class TestMixture:
         mix = Mixture([Normal(-1.0, 0.5), Normal(1.0, 0.5)], [0.5, 0.5])
         assert mix.mean == pytest.approx(0.0)
         assert mix.variance == pytest.approx(0.25 + 1.0)
+        assert isinstance(mix.mean, float) and isinstance(mix.variance, float)
+
+    def test_vector_component_moments_are_per_coordinate(self):
+        # Regression: float(np.sum(...)) used to collapse vector component
+        # means/variances into one scalar (summing across coordinates).
+        mix = Mixture(
+            [Normal(np.zeros(2), 1.0), Normal(np.array([2.0, 4.0]), 1.0)], [0.5, 0.5]
+        )
+        assert np.allclose(mix.mean, [1.0, 2.0])
+        # var = E[var] + Var[means] per coordinate.
+        assert np.allclose(mix.variance, [1.0 + 1.0, 1.0 + 4.0])
 
     def test_sampling_covers_components(self):
         mix = Mixture([Normal(-5.0, 0.1), Normal(5.0, 0.1)], [0.5, 0.5])
@@ -405,6 +440,29 @@ class TestRegistry:
         assert a != Normal(0.0, 2.0)
         assert hash(a) == hash(b)
         assert (a == 5) is False or (a == 5) is NotImplemented or True
+
+    def test_equality_with_mismatched_parameter_shapes_is_false(self):
+        # Regression: np.allclose raises on non-broadcastable shapes, so
+        # comparing a grid-likelihood Normal against a differently shaped one
+        # used to crash __eq__ instead of answering "not equal".
+        assert Normal(np.array([0.0, 1.0, 2.0]), 1.0) != Normal(np.array([0.0, 1.0]), 1.0)
+        grid_a = Normal(np.zeros((3, 4)), 0.5)
+        grid_b = Normal(np.zeros((2, 2)), 0.5)
+        assert grid_a != grid_b
+        # Broadcast-compatible shapes still compare by value: a scalar-loc
+        # Normal equals a grid Normal whose entries all match it.
+        assert Normal(0.0, 1.0) == Normal(np.zeros(3), np.ones(3))
+        assert Normal(0.0, 1.0) != Normal(np.array([0.0, 0.5]), 1.0)
+
+    def test_equality_of_structured_parameters(self):
+        # Mixture's to_dict carries a list of component dicts — not a numeric
+        # array.  Equality must compare it structurally, not refuse it.
+        mix_a = Mixture([Normal(0.0, 1.0), Normal(1.0, 2.0)], [0.5, 0.5])
+        mix_b = Mixture([Normal(0.0, 1.0), Normal(1.0, 2.0)], [0.5, 0.5])
+        assert mix_a == mix_b
+        assert mix_a != Mixture([Normal(0.0, 1.0), Normal(1.0, 3.0)], [0.5, 0.5])
+        assert mix_a != Mixture([Normal(0.0, 1.0), Normal(1.0, 2.0)], [0.9, 0.1])
+        check_roundtrip(mix_a)
 
     def test_prob_is_exp_log_prob(self):
         dist = Normal(0.0, 1.0)

@@ -1,0 +1,266 @@
+"""Tests for the array-parameterised batched distributions.
+
+The load-bearing contract: ``batch.row(i)`` must be *bit-identical* — in rng
+consumption, sampled values and log-densities — to the per-trace distribution
+object it replaces, because the lockstep engine swaps one for the other on
+the inference hot path and the seeded-equivalence guarantees of the whole
+serving stack rest on that swap being invisible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RandomState
+from repro.distributions import (
+    BatchedCategorical,
+    BatchedDistributionList,
+    BatchedMixtureOfTruncatedNormals,
+    BatchedNormal,
+    Categorical,
+    Mixture,
+    Normal,
+    TruncatedNormal,
+)
+from repro.distributions.batched import BatchedRowView
+
+
+def _mixture_reference(batch, index, raw_weights):
+    """The per-object Mixture that row ``index`` of ``batch`` stands in for.
+
+    Built from the *raw* (unnormalised) weights, exactly as the proposal
+    layer's per-object path does — both paths must normalise once, from the
+    same input, for the bit-identity contract to hold.
+    """
+    if batch.bounded[index]:
+        components = TruncatedNormal.batch_build(
+            batch.locs[index],
+            batch.scales[index],
+            np.full(batch.num_components, batch.lows[index]),
+            np.full(batch.num_components, batch.highs[index]),
+        )
+    else:
+        components = [
+            Normal(batch.locs[index, k], batch.scales[index, k])
+            for k in range(batch.num_components)
+        ]
+    return Mixture(components, raw_weights[index])
+
+
+@pytest.fixture(scope="module")
+def mixture_case():
+    rng = np.random.default_rng(3)
+    batch, components = 9, 5
+    locs = rng.normal(size=(batch, components))
+    scales = np.abs(rng.normal(size=(batch, components))) + 0.1
+    weights = np.abs(rng.normal(size=(batch, components))) + 0.05
+    lows = locs.min(axis=1) - 1.0
+    highs = locs.max(axis=1) + 1.0
+    bounded = np.array([True] * 6 + [False] * 3)
+    batched = BatchedMixtureOfTruncatedNormals(locs, scales, weights, lows, highs, bounded=bounded)
+    return batched, weights
+
+
+@pytest.fixture(scope="module")
+def mixture_batch(mixture_case):
+    return mixture_case[0]
+
+
+class TestMixtureRowEquivalence:
+    def test_row_samples_bit_identical_to_per_object_mixture(self, mixture_case):
+        mixture_batch, raw_weights = mixture_case
+        for index in range(mixture_batch.batch_size):
+            reference = _mixture_reference(mixture_batch, index, raw_weights)
+            rng_row, rng_ref = RandomState(100 + index), RandomState(100 + index)
+            row = mixture_batch.row(index)
+            for _ in range(40):
+                assert float(row.sample(rng_row)) == float(reference.sample(rng_ref))
+
+    def test_row_log_prob_bit_identical_to_per_object_mixture(self, mixture_case):
+        mixture_batch, raw_weights = mixture_case
+        for index in range(mixture_batch.batch_size):
+            reference = _mixture_reference(mixture_batch, index, raw_weights)
+            if mixture_batch.bounded[index]:
+                low, high = mixture_batch.lows[index] - 0.5, mixture_batch.highs[index] + 0.5
+            else:
+                low = mixture_batch.locs[index].min() - 3.0
+                high = mixture_batch.locs[index].max() + 3.0
+            values = np.linspace(low, high, 31)
+            row_lp = np.array([float(mixture_batch.row(index).log_prob(v)) for v in values])
+            ref_lp = np.array([float(reference.log_prob(v)) for v in values])
+            assert np.array_equal(row_lp, ref_lp)
+
+    def test_outside_support_is_minus_inf_on_bounded_rows(self, mixture_batch):
+        index = 0
+        assert mixture_batch.bounded[index]
+        assert float(mixture_batch.row(index).log_prob(mixture_batch.highs[index] + 1.0)) == -np.inf
+
+    def test_bulk_rows_match_per_row_views(self, mixture_batch):
+        size = mixture_batch.batch_size
+        bulk = mixture_batch.sample_rows([RandomState(i) for i in range(size)])
+        per_row = np.array(
+            [mixture_batch.row(i).sample(RandomState(i)) for i in range(size)]
+        )
+        assert np.array_equal(bulk, per_row)
+        assert np.array_equal(
+            mixture_batch.log_prob_rows(bulk),
+            np.array([float(mixture_batch.row(i).log_prob(bulk[i])) for i in range(size)]),
+        )
+
+    def test_samples_stay_inside_bounds(self, mixture_batch):
+        draws = np.array(
+            [
+                [mixture_batch.row(i).sample(RandomState(1000 + i * 50 + d)) for d in range(20)]
+                for i in range(mixture_batch.batch_size)
+            ]
+        )
+        bounded = mixture_batch.bounded
+        assert np.all(draws[bounded] >= mixture_batch.lows[bounded, None])
+        assert np.all(draws[bounded] <= mixture_batch.highs[bounded, None])
+
+    def test_materialized_row_roundtrip(self, mixture_batch):
+        for index in (0, mixture_batch.batch_size - 1):
+            materialized = mixture_batch.row(index).materialize()
+            assert isinstance(materialized, Mixture)
+            if mixture_batch.bounded[index]:
+                value = 0.5 * (mixture_batch.lows[index] + mixture_batch.highs[index])
+            else:
+                value = float(mixture_batch.locs[index, 0])
+            assert float(materialized.log_prob(value)) == float(
+                mixture_batch.row(index).log_prob(value)
+            )
+
+
+class TestDegenerateAndEdgeCases:
+    def test_one_row_batch(self):
+        raw_weights = np.array([[0.6, 0.4]])
+        batch = BatchedMixtureOfTruncatedNormals(
+            [[0.0, 1.0]], [[0.5, 0.5]], raw_weights, [-2.0], [2.0]
+        )
+        assert batch.batch_size == 1
+        reference = _mixture_reference(batch, 0, raw_weights)
+        rng_a, rng_b = RandomState(5), RandomState(5)
+        assert float(batch.row(0).sample(rng_a)) == float(reference.sample(rng_b))
+        assert np.array_equal(
+            batch.sample_rows([RandomState(6)]),
+            np.array([batch.row(0).sample(RandomState(6))]),
+        )
+
+    def test_far_tail_rows_have_finite_density(self):
+        # Z underflows for the far-tail row; log_prob must stay finite inside
+        # the interval (the same 1e-300 floor TruncatedNormal applies).
+        batch = BatchedMixtureOfTruncatedNormals(
+            [[0.0, 0.0], [0.0, 0.0]], [[1.0, 1.0], [1.0, 1.0]],
+            [[0.5, 0.5], [0.5, 0.5]], [40.0, -1.0], [41.0, 1.0]
+        )
+        assert np.isfinite(float(batch.row(0).log_prob(40.5)))
+        assert np.isfinite(float(batch.row(1).log_prob(0.0)))
+
+    def test_row_index_validation(self, mixture_batch):
+        with pytest.raises(IndexError):
+            mixture_batch.row(mixture_batch.batch_size)
+        with pytest.raises(IndexError):
+            mixture_batch.row(-1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BatchedMixtureOfTruncatedNormals([[0.0]], [[0.0]], [[1.0]], [-1.0], [1.0])
+        with pytest.raises(ValueError):
+            BatchedMixtureOfTruncatedNormals([[0.0]], [[1.0]], [[-1.0]], [-1.0], [1.0])
+        with pytest.raises(ValueError):
+            BatchedMixtureOfTruncatedNormals([[0.0]], [[1.0]], [[1.0]], [1.0], [-1.0])
+        with pytest.raises(ValueError):
+            BatchedNormal([0.0, 1.0], [1.0, -1.0])
+        with pytest.raises(ValueError):
+            BatchedCategorical([[0.5, -0.5]])
+        with pytest.raises(ValueError):
+            BatchedCategorical([0.5, 0.5])  # not a matrix
+
+    def test_sample_rows_wrong_rng_count(self, mixture_batch):
+        with pytest.raises(ValueError):
+            mixture_batch.sample_rows([RandomState(0)] * (mixture_batch.batch_size + 1))
+
+
+class TestBatchedNormal:
+    def test_rows_match_per_object_normals(self):
+        rng = np.random.default_rng(1)
+        locs = rng.normal(size=6)
+        scales = np.abs(rng.normal(size=6)) + 0.1
+        batch = BatchedNormal(locs, scales)
+        for index in range(6):
+            reference = Normal(locs[index], scales[index])
+            assert float(batch.row(index).sample(RandomState(index))) == float(
+                reference.sample(RandomState(index))
+            )
+            assert np.array_equal(batch.row(index).log_prob(0.3), reference.log_prob(0.3))
+        bulk = batch.sample_rows([RandomState(i) for i in range(6)])
+        assert np.array_equal(
+            bulk, np.array([batch.row(i).sample(RandomState(i)) for i in range(6)])
+        )
+        assert np.allclose(
+            batch.log_prob_rows(bulk),
+            [float(Normal(locs[i], scales[i]).log_prob(bulk[i])) for i in range(6)],
+        )
+
+
+class TestBatchedCategorical:
+    def test_rows_match_per_object_categoricals(self):
+        rng = np.random.default_rng(2)
+        probs = np.abs(rng.normal(size=(5, 4))) + 0.01
+        batch = BatchedCategorical(probs)
+        for index in range(5):
+            reference = Categorical(probs[index])
+            draws_row = [batch.row(index).sample(RandomState(index * 7 + d)) for d in range(25)]
+            draws_ref = [reference.sample(RandomState(index * 7 + d)) for d in range(25)]
+            assert draws_row == draws_ref
+            for value in (-1, 0, 3, 4):
+                assert np.array_equal(
+                    batch.row(index).log_prob(value), reference.log_prob(value)
+                )
+
+    def test_bulk_log_prob_handles_out_of_range(self):
+        batch = BatchedCategorical([[0.5, 0.5], [0.2, 0.8]])
+        out = batch.log_prob_rows([1, 5])
+        assert np.isfinite(out[0]) and out[1] == -np.inf
+
+    def test_row_is_discrete(self):
+        batch = BatchedCategorical([[0.5, 0.5]])
+        assert batch.row(0).discrete
+
+
+class TestBatchedDistributionList:
+    def test_fallback_wraps_per_object_distributions(self):
+        distributions = [Normal(0.0, 1.0), Normal(2.0, 0.5)]
+        batch = BatchedDistributionList(distributions)
+        assert batch.row(0) is distributions[0]
+        assert batch.row_distribution(1) is distributions[1]
+        bulk = batch.sample_rows([RandomState(0), RandomState(1)])
+        assert np.array_equal(
+            bulk,
+            [distributions[0].sample(RandomState(0)), distributions[1].sample(RandomState(1))],
+        )
+        assert np.allclose(
+            batch.log_prob_rows(bulk),
+            [float(d.log_prob(v)) for d, v in zip(distributions, bulk)],
+        )
+        with pytest.raises(ValueError):
+            BatchedDistributionList([])
+
+
+class TestRowViewSurface:
+    def test_row_view_moments_and_serialisation_via_materialize(self, mixture_case):
+        mixture_batch, raw_weights = mixture_case
+        index = 1
+        view = mixture_batch.row(index)
+        assert isinstance(view, BatchedRowView)
+        reference = _mixture_reference(mixture_batch, index, raw_weights)
+        assert view.mean == pytest.approx(reference.mean)
+        assert view.variance == pytest.approx(reference.variance)
+        # Serialisation: identical components; weights agree up to Mixture's
+        # re-normalisation of the already-normalised row (1 ulp).
+        view_dict, ref_dict = view.to_dict(), reference.to_dict()
+        assert view_dict["components"] == ref_dict["components"]
+        assert view_dict["weights"] == pytest.approx(ref_dict["weights"], rel=1e-12)
+
+    def test_row_view_sized_sampling_delegates(self, mixture_batch):
+        draws = mixture_batch.row(0).sample(RandomState(9), size=8)
+        assert np.asarray(draws).shape == (8,)

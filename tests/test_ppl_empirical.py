@@ -66,6 +66,20 @@ class TestSummaries:
         emp = Empirical(["a", "b", "c"], log_weights=[0.0, 3.0, 1.0])
         assert emp.mode() == "b"
 
+    def test_vector_values_refuse_scalar_summaries(self):
+        # Regression: reshape(-1)[0] used to silently summarise only the
+        # first coordinate of vector-valued latents.
+        emp = Empirical([np.array([1.0, 10.0]), np.array([3.0, 30.0])])
+        for summary in (lambda: emp.mean, lambda: emp.variance,
+                        lambda: emp.quantile(0.5), lambda: emp.histogram()):
+            with pytest.raises(ValueError, match="scalar summary"):
+                summary()
+        # The supported route: project one coordinate explicitly.
+        assert emp.map_values(lambda v: v[0]).mean == pytest.approx(2.0)
+        assert emp.map_values(lambda v: v[1]).mean == pytest.approx(20.0)
+        # Scalar-shaped arrays (0-d and length-1) still summarise fine.
+        assert Empirical([np.array([2.0]), np.array(4.0)]).mean == pytest.approx(3.0)
+
     def test_histogram_is_a_density(self):
         rng = np.random.default_rng(0)
         emp = Empirical(list(rng.standard_normal(2000)))
