@@ -14,9 +14,15 @@ subsystem around a trained engine and fires concurrent clients at it:
 
 Run with::
 
-    python examples/posterior_server.py
+    python examples/posterior_server.py                     # thread backend
+    python examples/posterior_server.py --backend process   # worker processes
+
+The ``process`` backend executes cohort shards on persistent worker
+processes (sidestepping the GIL for CPU-bound simulators); answers are
+seed-identical to the thread backend either way.
 """
 
+import argparse
 import threading
 
 import numpy as np
@@ -59,6 +65,14 @@ def detector_model():
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="where cohort shards execute (process = persistent worker processes)",
+    )
+    args = parser.parse_args()
     seed_all(0)
     model = FunctionModel(detector_model, name="detector")
 
@@ -84,9 +98,11 @@ def main() -> None:
         observe_key="detector",
         max_batch=64,
         max_latency=0.01,
-        num_workers=1,
+        num_workers=1 if args.backend == "thread" else 2,
+        backend=args.backend,
         cache_capacity=64,
     )
+    print(f"serving backend: {service.backend}")
     answers = {}
     answers_lock = threading.Lock()
 

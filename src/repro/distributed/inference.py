@@ -18,7 +18,7 @@ from the master seed.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.rng import RandomState, get_rng
 from repro.ppl.empirical import Empirical
@@ -77,6 +77,8 @@ def distributed_importance_sampling(
     observe_key: Optional[str] = None,
     rng: Optional[RandomState] = None,
     parallel: bool = False,
+    backend: Optional[str] = None,
+    num_workers: Optional[int] = None,
 ) -> Empirical:
     """Run batched IS on every rank and merge the per-rank posteriors.
 
@@ -86,11 +88,18 @@ def distributed_importance_sampling(
         Number of independent IS streams; rank r draws its randomness from a
         child stream mixed from ``(base, r)`` via
         :func:`repro.ppl.inference.batched.per_trace_rngs`, so the merged
-        result is reproducible and independent of ``parallel``.
+        result is reproducible and independent of the execution backend.
     parallel:
-        Run ranks on threads instead of sequentially.  Statistically
-        identical; useful when the simulator releases the GIL or the per-rank
-        cohorts are small.
+        Back-compat alias: ``parallel=True`` selects ``backend="thread"``.
+    backend:
+        ``"sequential"`` (default), ``"thread"`` (ranks on threads — useful
+        when the simulator releases the GIL), or ``"process"`` (rank cohorts
+        on persistent worker processes via
+        :class:`repro.serving.procpool.ProcessCohortPool` — sidesteps the GIL
+        entirely for CPU-bound Python simulators, the MPI-sharding shape of
+        the source paper).  All three produce the same seeded posterior.
+    num_workers:
+        Process-backend pool width (default ``num_ranks``).
 
     Returns
     -------
@@ -98,9 +107,25 @@ def distributed_importance_sampling(
         The concatenation of all per-rank weighted posteriors, with
         ``engine_stats`` aggregated across ranks.
     """
+    if backend is None:
+        backend = "thread" if parallel else "sequential"
+    if backend not in ("sequential", "thread", "process"):
+        raise ValueError(
+            f"backend must be 'sequential', 'thread' or 'process', got {backend!r}"
+        )
+    # A remote simulator multiplexes one PPX transport; concurrent ranks
+    # would interleave its request/reply protocol (and the transport cannot
+    # cross a process boundary), so serialize them — the per-rank streams
+    # make the result identical either way.
+    if isinstance(model, RemoteModel):
+        backend = "sequential"
     rng = rng or get_rng()
     sizes = partition_traces(num_traces, num_ranks)
     rank_rngs = per_trace_rngs(rng, num_ranks)
+    if backend == "process":
+        return _process_backend_run(
+            model, observation, sizes, rank_rngs, network, batch_size, observe_key, num_workers
+        )
     results: List[Optional[Empirical]] = [None] * num_ranks
     errors: List[Optional[BaseException]] = [None] * num_ranks
 
@@ -120,12 +145,7 @@ def distributed_importance_sampling(
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             errors[rank] = exc
 
-    # A remote simulator multiplexes one PPX transport; concurrent ranks
-    # would interleave its request/reply protocol, so serialize them (the
-    # per-rank streams make the result identical either way).
-    if isinstance(model, RemoteModel):
-        parallel = False
-    if parallel and num_ranks > 1:
+    if backend == "thread" and num_ranks > 1:
         threads = [
             threading.Thread(target=run_rank, args=(rank,), name=f"is-rank-{rank}")
             for rank in range(num_ranks)
@@ -142,6 +162,116 @@ def distributed_importance_sampling(
         if error is not None:
             raise error
     per_rank = [result for result in results if result is not None]
+    merged = Empirical.combine(per_rank, name="distributed_importance_sampling_posterior")
+    merged.engine_stats = {
+        key: sum(result.engine_stats.get(key, 0) for result in per_rank)
+        for key in (per_rank[0].engine_stats if per_rank else {})
+    }
+    merged.per_rank_sizes = [len(result) for result in per_rank]
+    return merged
+
+
+def _process_backend_run(
+    model,
+    observation: Dict[str, Any],
+    sizes: List[int],
+    rank_rngs: List[RandomState],
+    network,
+    batch_size: int,
+    observe_key: Optional[str],
+    num_workers: Optional[int],
+) -> Empirical:
+    """Execute every rank's cohorts on a pool of worker processes.
+
+    The randomness is derived rank-by-rank in the parent exactly as the
+    sequential path's per-rank :func:`batched_importance_sampling` calls
+    derive it (one ``per_trace_rngs`` consumption per rank), so the merged
+    posterior is seed-identical to the sequential and thread backends; only
+    *where* each cohort executes changes.
+    """
+    # Imported lazily: repro.serving imports this module (shard_jobs), so a
+    # top-level import of the pool would be circular.
+    from repro.ppl.inference.batched import (
+        TraceJob,
+        form_log_weights,
+        new_engine_stats,
+        resolve_observation_array,
+    )
+    from repro.serving.procpool import ProcessCohortPool
+
+    num_ranks = len(sizes)
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    observation_array = resolve_observation_array(network, observation, observe_key)
+    shards: List[Tuple[int, int, List[TraceJob]]] = []  # (rank, start, jobs)
+    for rank in range(num_ranks):
+        if sizes[rank] == 0:
+            continue
+        jobs = [
+            TraceJob(rank, observation, observation_array, trace_rng)
+            for trace_rng in per_trace_rngs(rank_rngs[rank], sizes[rank])
+        ]
+        for start in range(0, len(jobs), batch_size):
+            shards.append((rank, start, jobs[start : start + batch_size]))
+
+    # Per-rank engine counters, exactly as the sequential/thread backends
+    # attribute them (each rank's batched_importance_sampling owns its stats).
+    rank_stats: List[Dict[str, int]] = [new_engine_stats() for _ in range(num_ranks)]
+    stats_lock = threading.Lock()
+
+    def make_stats_callback(rank: int):
+        def merge_stats(shard_stats, _elapsed) -> None:
+            with stats_lock:
+                for key, value in shard_stats.items():
+                    rank_stats[rank][key] = rank_stats[rank].get(key, 0) + value
+
+        return merge_stats
+
+    rank_traces: Dict[int, Dict[int, List]] = {rank: {} for rank in range(num_ranks)}
+    errors: List[BaseException] = []
+    remaining = threading.Semaphore(0)
+
+    def make_callback(rank: int, start: int):
+        def on_done(_entries, traces, error) -> None:
+            with stats_lock:
+                if error is not None:
+                    errors.append(error)
+                else:
+                    rank_traces[rank][start] = traces
+            remaining.release()
+
+        return on_done
+
+    pool = ProcessCohortPool(
+        model,
+        network,
+        num_workers=num_workers if num_workers is not None else max(1, num_ranks),
+    )
+    pool.start()
+    try:
+        for rank, start, jobs in shards:
+            pool.submit(jobs, make_callback(rank, start), stats_callback=make_stats_callback(rank))
+        for _ in shards:
+            remaining.acquire()
+    finally:
+        pool.stop(drain=True)
+    if errors:
+        raise errors[0]
+
+    per_rank: List[Empirical] = []
+    for rank in range(num_ranks):
+        if sizes[rank] == 0:
+            continue
+        traces = [
+            trace for start in sorted(rank_traces[rank]) for trace in rank_traces[rank][start]
+        ]
+        result = Empirical(
+            traces,
+            form_log_weights(traces, network),
+            name="batched_importance_sampling_posterior",
+        )
+        result.engine_stats = rank_stats[rank]
+        per_rank.append(result)
     merged = Empirical.combine(per_rank, name="distributed_importance_sampling_posterior")
     merged.engine_stats = {
         key: sum(result.engine_stats.get(key, 0) for result in per_rank)

@@ -50,9 +50,40 @@ __all__ = [
     "BatchedCategorical",
     "BatchedMixtureOfTruncatedNormals",
     "BatchedDistributionList",
+    "DEFAULT_CHOICE_KERNEL",
 ]
 
 _LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+#: Default component/category selection kernel: ``"inverse_cdf"`` draws one
+#: uniform per row and inverts a precomputed CDF; ``"percall"`` calls
+#: ``generator.choice(p=...)`` per draw (the reference path).  The two are
+#: **bit-identical** — ``Generator.choice`` with probabilities is itself
+#: inverse-CDF sampling on one ``random()`` draw, so both kernels consume the
+#: stream identically and pick the same index — but ``choice`` re-validates
+#: and re-accumulates the probability vector on every call, which profiling
+#: showed dominates the distribution side of a lockstep round (ROADMAP).
+DEFAULT_CHOICE_KERNEL = "inverse_cdf"
+
+
+def _validated_choice_kernel(choice_kernel: Optional[str]) -> str:
+    kernel = DEFAULT_CHOICE_KERNEL if choice_kernel is None else choice_kernel
+    if kernel not in ("inverse_cdf", "percall"):
+        raise ValueError(
+            f"choice_kernel must be 'inverse_cdf' or 'percall', got {choice_kernel!r}"
+        )
+    return kernel
+
+
+def _choice_cdfs(probs: np.ndarray) -> np.ndarray:
+    """Per-row CDFs built exactly as ``Generator.choice`` builds them.
+
+    Same operation order (row cumsum, then division by the final column) so
+    the inverse-CDF kernel's comparisons see bit-for-bit the values numpy's
+    own sampler would compute from the same probability rows.
+    """
+    cdfs = np.cumsum(probs, axis=-1)
+    return cdfs / cdfs[:, -1:]
 
 
 class BatchedRowView(Distribution):
@@ -202,11 +233,17 @@ class BatchedNormal(BatchedDistribution):
 
 
 class BatchedCategorical(BatchedDistribution):
-    """B independent categoricals over ``0..K-1`` held as a ``(B, K)`` array."""
+    """B independent categoricals over ``0..K-1`` held as a ``(B, K)`` array.
+
+    ``choice_kernel`` selects how a category index is drawn (see
+    :data:`DEFAULT_CHOICE_KERNEL`); both kernels are bit-identical in output
+    and stream consumption, the inverse-CDF one just skips ``choice``'s
+    per-call validation/accumulation overhead.
+    """
 
     discrete = True
 
-    def __init__(self, probs) -> None:
+    def __init__(self, probs, choice_kernel: Optional[str] = None) -> None:
         probs_arr = np.asarray(probs, dtype=float)
         if probs_arr.ndim != 2:
             raise ValueError("probs must be a (batch, categories) matrix")
@@ -219,9 +256,16 @@ class BatchedCategorical(BatchedDistribution):
         self.batch_size = int(self.probs.shape[0])
         self.num_categories = int(self.probs.shape[1])
         self._log_probs = np.log(np.clip(self.probs, 1e-300, None))
+        self.choice_kernel = _validated_choice_kernel(choice_kernel)
+        self._cdfs = _choice_cdfs(self.probs) if self.choice_kernel == "inverse_cdf" else None
+
+    def _choose(self, index: int, generator: np.random.Generator) -> int:
+        if self._cdfs is not None:
+            return int(np.searchsorted(self._cdfs[index], generator.random(), side="right"))
+        return int(generator.choice(self.num_categories, size=None, p=self.probs[index]))
 
     def _sample_row(self, index: int, generator: np.random.Generator):
-        return int(generator.choice(self.num_categories, size=None, p=self.probs[index]))
+        return self._choose(index, generator)
 
     def _log_prob_row(self, index: int, value) -> np.ndarray:
         idx = np.asarray(value, dtype=np.int64)
@@ -233,6 +277,13 @@ class BatchedCategorical(BatchedDistribution):
 
     def sample_rows(self, rngs=None) -> np.ndarray:
         generators = self._per_row_generators(rngs)
+        if self._cdfs is not None:
+            # One uniform per row (consumed row-by-row so each stream matches
+            # its row(i).sample), then one vectorised CDF inversion for the
+            # whole batch: (cdf[j] <= u) counts are exactly
+            # searchsorted(cdf, u, side="right").
+            uniforms = np.array([generators[i].random() for i in range(self.batch_size)])
+            return (self._cdfs <= uniforms[:, None]).sum(axis=1)
         return np.array(
             [
                 int(generators[i].choice(self.num_categories, size=None, p=self.probs[i]))
@@ -267,7 +318,10 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
     object — and no per-component objects are ever allocated.
     """
 
-    def __init__(self, locs, scales, weights, lows=None, highs=None, bounded=None) -> None:
+    def __init__(
+        self, locs, scales, weights, lows=None, highs=None, bounded=None,
+        choice_kernel: Optional[str] = None,
+    ) -> None:
         self.locs = np.asarray(locs, dtype=float)
         if self.locs.ndim != 2:
             raise ValueError("locs must be a (batch, components) matrix")
@@ -286,6 +340,10 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
         self._log_weights = np.log(np.clip(self.weights, 1e-300, None))
         self.batch_size = int(batch)
         self.num_components = int(components)
+        self.choice_kernel = _validated_choice_kernel(choice_kernel)
+        self._weight_cdfs = (
+            _choice_cdfs(self.weights) if self.choice_kernel == "inverse_cdf" else None
+        )
 
         lows_arr = np.full(batch, -np.inf) if lows is None else np.asarray(lows, dtype=float).reshape(-1)
         highs_arr = np.full(batch, np.inf) if highs is None else np.asarray(highs, dtype=float).reshape(-1)
@@ -334,8 +392,15 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
             value = loc + scale * ndtri(np.clip(self._cdf_lows[index, component] + u * z, 1e-300, 1.0))
         return np.clip(value, self.lows[index], self.highs[index])
 
+    def _choose_component(self, index: int, generator: np.random.Generator) -> int:
+        if self._weight_cdfs is not None:
+            return int(
+                np.searchsorted(self._weight_cdfs[index], generator.random(), side="right")
+            )
+        return int(generator.choice(self.num_components, p=self.weights[index]))
+
     def _sample_row(self, index: int, generator: np.random.Generator):
-        component = int(generator.choice(self.num_components, p=self.weights[index]))
+        component = self._choose_component(index, generator)
         return self._sample_component(index, component, generator)
 
     def sample_rows(self, rngs=None) -> np.ndarray:
@@ -350,7 +415,7 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
         uniforms = np.zeros(self.batch_size)
         normals = np.zeros(self.batch_size)
         for i in range(self.batch_size):
-            components[i] = int(generators[i].choice(self.num_components, p=self.weights[i]))
+            components[i] = self._choose_component(i, generators[i])
             if self.bounded[i]:
                 uniforms[i] = generators[i].uniform(0.0, 1.0)
             else:

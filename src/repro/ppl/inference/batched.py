@@ -54,6 +54,7 @@ __all__ = [
     "new_engine_stats",
     "form_log_weights",
     "run_mixed_cohort",
+    "execute_trace_jobs",
 ]
 
 
@@ -374,6 +375,24 @@ def run_mixed_cohort(model, jobs: Sequence[TraceJob], network, stats: Dict[str, 
         return traces
     session = network.mixed_batched_session([job.observation_array for job in jobs])
     return _drive_cohort(model, session, [job.observation for job in jobs], rngs, stats)
+
+
+def execute_trace_jobs(model, jobs: Sequence[TraceJob], network) -> Tuple[List[Trace], Dict[str, int]]:
+    """Run one shard of trace jobs and return ``(traces, engine_stats)``.
+
+    This is the engine entry point of an out-of-process cohort worker: jobs
+    arrive pickled (a :class:`TraceJob` carries only the observation, its
+    resolved array and a :class:`repro.common.rng.RandomState`, all of which
+    round-trip through pickle with the generator state intact), the lockstep
+    rounds run locally, and the finished traces plus the engine counter block
+    travel back.  Because each job's random stream was derived in the parent
+    with :func:`per_trace_rngs` *before* sharding, the traces are bit-identical
+    wherever the shard executes — same process, worker thread, or worker
+    process.
+    """
+    stats = new_engine_stats()
+    traces = run_mixed_cohort(model, jobs, network, stats)
+    return traces, stats
 
 
 def form_log_weights(

@@ -134,6 +134,9 @@ class InferenceCompilation:
             self.history.append(loss.item(), self._total_traces, self.network.num_parameters(), opt.lr)
             if callback is not None:
                 callback(iteration, loss.item())
+        # The parameters changed in place: tell anyone caching results keyed
+        # to this network (e.g. a PosteriorService's posterior cache).
+        self.network.notify_updated()
         return self.history
 
     def _make_optimizer(self, name: str, learning_rate: float, larc: bool):

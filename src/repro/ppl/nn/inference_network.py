@@ -89,6 +89,41 @@ class InferenceNetwork(Module):
         #: per-address record of the prior used to build its layers (for saving)
         self.address_specs: Dict[str, Dict[str, Any]] = {}
         self._frozen = False
+        #: bumped by :meth:`notify_updated` every time the parameters change
+        #: in place (a completed training run); serving caches key on it
+        self.version = 0
+        self._update_listeners: List[Any] = []
+
+    # -------------------------------------------------------- update notification
+    def add_update_listener(self, listener) -> None:
+        """Register ``listener()`` to run after every in-place parameter update.
+
+        The serving layer uses this to invalidate cached posteriors the moment
+        the proposal network they were computed under is retrained — a frozen
+        posterior for the *old* parameters is wrong, not merely old.
+        """
+        if listener not in self._update_listeners:
+            self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener) -> None:
+        if listener in self._update_listeners:
+            self._update_listeners.remove(listener)
+
+    def notify_updated(self) -> None:
+        """Bump :attr:`version` and fan out to registered listeners."""
+        self.version += 1
+        for listener in list(self._update_listeners):
+            listener()
+
+    def __getstate__(self):
+        # Listeners reference live services (locks, threads, queues) — they
+        # must not ride along when the network is shipped to worker processes.
+        state = dict(self.__dict__)
+        state["_update_listeners"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------- polymorphism
     def polymorph(self, traces: Iterable[Trace]) -> List[Tuple[str, Parameter]]:

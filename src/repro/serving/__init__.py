@@ -17,6 +17,9 @@ for free.  This package turns that observation into a service:
 * :class:`CohortWorkerPool` — executes cohorts on a pool of worker threads,
   sharding flushed batches across idle workers the same way the distributed
   driver shards traces across ranks.
+* :class:`ProcessCohortPool` — the same contract on persistent worker
+  *processes* (``backend="process"``), which sidesteps the GIL for CPU-bound
+  simulators; crashed workers are respawned and their shards requeued.
 * :class:`ServingMetrics` — QPS, latency percentiles, cohort occupancy and
   cache hit rate, built on :mod:`repro.common.timing`.
 
@@ -27,8 +30,9 @@ a served posterior is identical to a direct
 call with the same seed, no matter how requests were packed into cohorts.
 """
 
-from repro.serving.cache import PosteriorCache, observation_fingerprint
+from repro.serving.cache import CacheLookup, PosteriorCache, observation_fingerprint
 from repro.serving.metrics import ServingMetrics
+from repro.serving.procpool import ProcessCohortPool, WorkerCrashed
 from repro.serving.request import (
     DeadlineExceeded,
     PosteriorRequest,
@@ -41,15 +45,18 @@ from repro.serving.service import PosteriorService
 from repro.serving.workers import CohortWorkerPool
 
 __all__ = [
+    "CacheLookup",
     "CohortWorkerPool",
     "DeadlineExceeded",
     "MicroBatchScheduler",
     "PosteriorCache",
     "PosteriorRequest",
     "PosteriorService",
+    "ProcessCohortPool",
     "ServedPosterior",
     "ServiceOverloaded",
     "ServingError",
     "ServingMetrics",
+    "WorkerCrashed",
     "observation_fingerprint",
 ]

@@ -1,4 +1,4 @@
-"""Observation-keyed posterior cache (LRU with TTL).
+"""Observation-keyed posterior cache (LRU with TTL and stale-while-revalidate).
 
 Amortized inference makes repeated queries for the same observation pure
 waste: the trained network is deterministic given (observation, num_traces,
@@ -7,6 +7,18 @@ of the observation tensor, the model identity and the trace budget.  Entries
 are :class:`repro.ppl.empirical.FrozenPosterior` summaries — trace-free and
 immutable, so one entry can be handed to any number of concurrent clients and
 kept resident for the TTL without pinning simulator traces in memory.
+
+Staleness has two distinct failure modes with two distinct answers:
+
+* **The network was retrained in place** — the cached posteriors answer for a
+  proposal distribution that no longer exists.  :meth:`invalidate` (optionally
+  scoped to one ``model_id``) drops those entries immediately; the service
+  wires it to the network's update notifications.
+* **The TTL elapsed** — the entry is merely old, not wrong.  Instead of a hard
+  miss (every client behind a cold entry pays full inference latency at once),
+  :meth:`get` with ``allow_stale=True`` keeps serving the expired summary and
+  reports it as stale, so the service can refresh it once in the background
+  (single-flight) while clients keep getting sub-millisecond answers.
 """
 
 from __future__ import annotations
@@ -15,13 +27,13 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.ppl.empirical import FrozenPosterior
 
-__all__ = ["PosteriorCache", "observation_fingerprint"]
+__all__ = ["PosteriorCache", "CacheLookup", "observation_fingerprint"]
 
 
 def observation_fingerprint(observation: Dict[str, Any], model_id: str, num_traces: int) -> str:
@@ -41,6 +53,13 @@ def observation_fingerprint(observation: Dict[str, Any], model_id: str, num_trac
         digest.update(str(array.shape).encode())
         digest.update(array.tobytes())
     return digest.hexdigest()
+
+
+class CacheLookup(NamedTuple):
+    """Result of a cache probe: the entry (or ``None``) and its freshness."""
+
+    value: Optional[FrozenPosterior]
+    stale: bool
 
 
 class PosteriorCache:
@@ -66,36 +85,58 @@ class PosteriorCache:
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
-        self._entries: "OrderedDict[str, Tuple[float, FrozenPosterior]]" = OrderedDict()
+        #: key -> (stored_at, frozen posterior, owning model id)
+        self._entries: "OrderedDict[str, Tuple[float, FrozenPosterior, Optional[str]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.stale_hits = 0
+        self.invalidations = 0
 
-    def get(self, key: str, record_miss: bool = True) -> Optional[FrozenPosterior]:
-        """Look up ``key``; a found entry always counts as a hit.
+    def get(
+        self, key: str, record_miss: bool = True, allow_stale: bool = False
+    ) -> Optional[FrozenPosterior]:
+        """Look up ``key``; a found (fresh) entry always counts as a hit.
 
         ``record_miss=False`` defers the miss accounting to the caller — the
         service uses this because a lookup miss may still be answered by
         single-flight coalescing, which it then folds back in via
         :meth:`record_hit`/:meth:`record_miss` so the cache's own hit rate
         agrees with the serving metrics.
+
+        ``allow_stale=True`` selects stale-while-revalidate semantics: a
+        TTL-expired entry is *kept* and returned instead of deleted, counting
+        as a stale hit — use :meth:`lookup` to also learn the freshness.
         """
+        return self.lookup(key, record_miss=record_miss, allow_stale=allow_stale).value
+
+    def lookup(
+        self, key: str, record_miss: bool = True, allow_stale: bool = False
+    ) -> CacheLookup:
+        """Like :meth:`get` but returns ``(value, stale)``."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                stored_at, value = entry
-                if self.ttl is not None and self._clock() - stored_at >= self.ttl:
-                    del self._entries[key]
-                    self.expirations += 1
-                else:
+                stored_at, value, _model_id = entry
+                expired = self.ttl is not None and self._clock() - stored_at >= self.ttl
+                if not expired:
                     self._entries.move_to_end(key)
                     self.hits += 1
-                    return value
+                    return CacheLookup(value, False)
+                if allow_stale:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self.stale_hits += 1
+                    return CacheLookup(value, True)
+                del self._entries[key]
+                self.expirations += 1
             if record_miss:
                 self.misses += 1
-            return None
+            return CacheLookup(None, False)
 
     def record_hit(self) -> None:
         """Count an externally-resolved hit (e.g. single-flight coalescing)."""
@@ -107,20 +148,44 @@ class PosteriorCache:
         with self._lock:
             self.misses += 1
 
-    def put(self, key: str, value: FrozenPosterior) -> None:
+    def put(self, key: str, value: FrozenPosterior, model_id: Optional[str] = None) -> None:
+        """Insert/refresh an entry (``model_id`` scopes later invalidation)."""
         if self.capacity == 0:
             return
         with self._lock:
-            self._entries[key] = (self._clock(), value)
+            self._entries[key] = (self._clock(), value, model_id)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def invalidate(self) -> None:
-        """Drop every entry (e.g. after swapping in a newly trained network)."""
+    def invalidate(self, model_id: Optional[str] = None) -> int:
+        """Drop entries (all of them, or only those stored under ``model_id``).
+
+        Wired by the service to in-place network retraining: the moment the
+        proposal network's parameters change, every posterior computed under
+        the old parameters is wrong, not merely old — stale-while-revalidate
+        must never serve it.  Returns the number of entries dropped.
+        """
         with self._lock:
-            self._entries.clear()
+            if model_id is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [
+                    key
+                    for key, (_stored_at, _value, entry_model) in self._entries.items()
+                    if entry_model == model_id
+                ]
+                for key in doomed:
+                    del self._entries[key]
+                dropped = len(doomed)
+            self.invalidations += dropped
+            return dropped
+
+    def clear(self) -> int:
+        """Drop every entry (alias of :meth:`invalidate` with no scope)."""
+        return self.invalidate()
 
     def __len__(self) -> int:
         with self._lock:
@@ -139,7 +204,9 @@ class PosteriorCache:
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
+            "stale_hits": self.stale_hits,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }

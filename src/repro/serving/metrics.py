@@ -42,6 +42,8 @@ class ServingMetrics:
         self.rejected_overload = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.stale_served = 0
+        self.revalidations = 0
         self.traces_executed = 0
         self.cohorts_executed = 0
         self._latencies: Deque[float] = deque(maxlen=window)
@@ -74,6 +76,16 @@ class ServingMetrics:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+
+    def record_stale_served(self) -> None:
+        """A TTL-expired cache entry was served while a refresh runs behind it."""
+        with self._lock:
+            self.stale_served += 1
+
+    def record_revalidation(self) -> None:
+        """A background refresh of a stale cache entry was started."""
+        with self._lock:
+            self.revalidations += 1
 
     def record_completed(self, latency: float, num_traces: int, cached: bool) -> None:
         with self._lock:
@@ -114,6 +126,8 @@ class ServingMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_hit_rate": self.cache_hits / cache_total if cache_total else 0.0,
+                "stale_served": self.stale_served,
+                "revalidations": self.revalidations,
             }
             if latencies.size:
                 snapshot["latency_p50_s"] = float(np.percentile(latencies, 50))

@@ -50,6 +50,7 @@ from repro.ppl.inference.batched import (
 )
 from repro.serving.cache import PosteriorCache, observation_fingerprint
 from repro.serving.metrics import ServingMetrics
+from repro.serving.procpool import ProcessCohortPool
 from repro.serving.request import (
     DeadlineExceeded,
     PosteriorRequest,
@@ -83,10 +84,26 @@ class PosteriorService:
         Worker-pool width; a flushed batch is split over idle workers into
         shards of at least ``shard_min`` jobs (cohorts are independent
         importance-sampling streams, so sharding never changes results).
+    backend:
+        ``"thread"`` (default) executes cohorts on worker threads in this
+        process; ``"process"`` ships them to persistent worker processes
+        (:class:`repro.serving.procpool.ProcessCohortPool`), which sidesteps
+        the GIL for CPU-bound simulators.  Seeded posteriors are bit-identical
+        across backends because every trace job's random stream is derived in
+        the parent before dispatch.  Remote PPX models force the thread
+        backend (their one transport cannot be shared with a forked worker).
     queue_capacity:
         Bound on pending trace jobs; admission control rejects beyond it.
     cache_capacity / cache_ttl:
-        Observation-keyed posterior cache size and staleness bound.
+        Observation-keyed posterior cache size and staleness bound.  With a
+        TTL set, expired entries are served stale while a single-flight
+        background refresh recomputes them (stale-while-revalidate); entries
+        are dropped outright when the network is retrained in place (the
+        service listens for the network's update notifications).
+    mp_start_method / max_requeues:
+        Process-backend tuning: the multiprocessing start method (default
+        ``fork`` where available, so models/networks need not pickle) and how
+        many times a crashed worker's shard is requeued before failing loudly.
     """
 
     def __init__(
@@ -99,17 +116,22 @@ class PosteriorService:
         max_latency: float = 0.005,
         num_workers: int = 2,
         shard_min: int = 16,
+        backend: str = "thread",
         queue_capacity: int = 4096,
         cache_capacity: int = 256,
         cache_ttl: Optional[float] = None,
         default_num_traces: int = 100,
         rng: Optional[RandomState] = None,
+        mp_start_method: Optional[str] = None,
+        max_requeues: int = 1,
         name: str = "posterior-service",
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if default_num_traces < 1:
             raise ValueError("default_num_traces must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
         self.model = model
         self.network = network
         self.observe_key = observe_key
@@ -122,10 +144,23 @@ class PosteriorService:
         self.cache = PosteriorCache(capacity=cache_capacity, ttl=cache_ttl)
         # A remote simulator multiplexes one unsynchronized PPX transport, so
         # its executions must never run on two workers at once — the same
-        # constraint the engine applies within a cohort.
+        # constraint the engine applies within a cohort — and the transport
+        # cannot be shared with a forked worker process at all.
         if isinstance(model, RemoteModel):
             num_workers = 1
-        self.workers = CohortWorkerPool(self._execute_cohort, num_workers=num_workers)
+            backend = "thread"
+        if backend == "process":
+            self.workers = ProcessCohortPool(
+                model,
+                network,
+                num_workers=num_workers,
+                start_method=mp_start_method,
+                max_requeues=max_requeues,
+                on_stats=self._merge_engine_stats,
+            )
+        else:
+            self.workers = CohortWorkerPool(self._execute_cohort, num_workers=num_workers)
+        self.backend = self.workers.backend
         self.scheduler = MicroBatchScheduler(
             self._dispatch,
             max_batch=max_batch,
@@ -149,24 +184,43 @@ class PosteriorService:
             raise RuntimeError("service already started")
         self.workers.start()
         self.scheduler.start()
+        if self.network is not None and hasattr(self.network, "add_update_listener"):
+            # In-place retraining makes every cached posterior wrong (not just
+            # old): drop this service's entries the moment it happens.
+            self.network.add_update_listener(self._on_network_updated)
         self._running = True
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop serving; ``drain`` finishes admitted requests first."""
+        """Stop serving; ``drain`` finishes admitted requests first.
+
+        With ``drain=False`` pending and in-flight requests resolve with a
+        :class:`ServingError`/:class:`ServiceOverloaded` instead of hanging —
+        no future submitted before the stop is ever abandoned.
+        """
         if not self._running:
             return
         self._running = False
+        if self.network is not None and hasattr(self.network, "remove_update_listener"):
+            self.network.remove_update_listener(self._on_network_updated)
         self.scheduler.stop(drain=drain)
         if not drain:
             self.scheduler.cancel_pending(
                 lambda request: ServiceOverloaded("service stopped before request ran")
             )
-        self.workers.stop()
+        self.workers.stop(drain=drain)
         # Anything still unresolved (e.g. stop(drain=False) raced a cohort) is
         # failed rather than left hanging on its future forever.
         for request in list(self._inflight.values()):
             request.fail(ServingError("service stopped"))
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Alias of :meth:`stop` (the common serving-framework spelling)."""
+        self.stop(drain=drain)
+
+    def close(self) -> None:
+        """Alias of :meth:`stop` with drain, for ``contextlib.closing`` users."""
+        self.stop()
 
     def __enter__(self) -> "PosteriorService":
         return self.start()
@@ -211,14 +265,19 @@ class PosteriorService:
         if use_cache:
             # The miss is not recorded yet: it may still be resolved by
             # single-flight coalescing below, in which case both the cache's
-            # stats and the serving metrics count it as a hit.
-            cached = self.cache.get(key, record_miss=False)
-            if cached is not None:
+            # stats and the serving metrics count it as a hit.  A TTL-expired
+            # entry is served *stale* while one background refresh recomputes
+            # it — repeated queries never stack up behind a cold recompute.
+            found = self.cache.lookup(key, record_miss=False, allow_stale=True)
+            if found.value is not None:
                 self.metrics.record_cache(True)
+                if found.stale:
+                    self.metrics.record_stale_served()
+                    self._schedule_revalidation(observation, observation_array, num_traces, key)
                 future: "Future[ServedPosterior]" = Future()
                 result = ServedPosterior(
                     request_id=next(self._request_ids),
-                    posterior=cached,
+                    posterior=found.value,
                     cached=True,
                     latency=0.0,
                     num_traces=num_traces,
@@ -241,42 +300,104 @@ class PosteriorService:
                     return self._attach_to_inflight(primary, num_traces)
                 self.cache.record_miss()
                 self.metrics.record_cache(False)
-            if self.scheduler.pending_jobs + num_traces > self.queue_capacity:
-                self.metrics.record_rejected()
-                raise ServiceOverloaded(
-                    f"pending queue full ({self.scheduler.pending_jobs} jobs pending, "
-                    f"capacity {self.queue_capacity})"
-                )
-            request_id = next(self._request_ids)
-            request = PosteriorRequest(
-                request_id,
-                observation,
-                num_traces,
-                deadline=None if deadline is None else time.monotonic() + deadline,
-            )
-            request.cache_key = key  # type: ignore[attr-defined]
-            self._inflight_keys[key] = request
-            # Cleanup rides on the future itself, so *every* resolution path
-            # (completion, worker failure, shedding, scheduler-side failure,
-            # stop) clears the single-flight registry and in-flight table.
-            request.future.add_done_callback(lambda _done, _request=request: self._finish(_request))
-            # Identical stream derivation to the one-shot engine: the request
-            # rng is consumed exactly as batched_importance_sampling consumes
-            # its rng argument (under the admission lock — shared-stream
-            # submits must not interleave).
             request_rng = rng or (RandomState(seed) if seed is not None else self._rng)
-            trace_rngs = per_trace_rngs(request_rng, num_traces)
-            entries = [
-                CohortEntry(
-                    TraceJob(request_id, observation, observation_array, trace_rng),
-                    request,
-                    position,
-                )
-                for position, trace_rng in enumerate(trace_rngs)
-            ]
-            self._inflight[request_id] = request
-            self.scheduler.submit(entries)
+            request = self._admit_locked(
+                observation, observation_array, num_traces, key, deadline, request_rng
+            )
         return request.future
+
+    def _admit_locked(
+        self,
+        observation: Dict[str, Any],
+        observation_array,
+        num_traces: int,
+        key: str,
+        deadline: Optional[float],
+        request_rng: RandomState,
+        internal: bool = False,
+    ) -> PosteriorRequest:
+        """Admit one request (admission lock held): register, derive, enqueue.
+
+        ``internal`` marks service-originated requests (background cache
+        refreshes): they are excluded from the client-facing completion,
+        latency and failure metrics — `revalidations` tracks them instead.
+        """
+        if self.scheduler.pending_jobs + num_traces > self.queue_capacity:
+            self.metrics.record_rejected()
+            raise ServiceOverloaded(
+                f"pending queue full ({self.scheduler.pending_jobs} jobs pending, "
+                f"capacity {self.queue_capacity})"
+            )
+        request_id = next(self._request_ids)
+        request = PosteriorRequest(
+            request_id,
+            observation,
+            num_traces,
+            deadline=None if deadline is None else time.monotonic() + deadline,
+        )
+        request.cache_key = key  # type: ignore[attr-defined]
+        request.internal = internal  # type: ignore[attr-defined]
+        # Snapshot the network generation at admission: if a retrain lands
+        # while this request is in flight, its posterior (old/mid-training
+        # parameters) must not be written into the freshly invalidated cache.
+        request.network_version = getattr(self.network, "version", 0)  # type: ignore[attr-defined]
+        self._inflight_keys[key] = request
+        # Cleanup rides on the future itself, so *every* resolution path
+        # (completion, worker failure, shedding, scheduler-side failure,
+        # stop) clears the single-flight registry and in-flight table.
+        request.future.add_done_callback(lambda _done, _request=request: self._finish(_request))
+        # Identical stream derivation to the one-shot engine: the request
+        # rng is consumed exactly as batched_importance_sampling consumes
+        # its rng argument (under the admission lock — shared-stream
+        # submits must not interleave).
+        trace_rngs = per_trace_rngs(request_rng, num_traces)
+        entries = [
+            CohortEntry(
+                TraceJob(request_id, observation, observation_array, trace_rng),
+                request,
+                position,
+            )
+            for position, trace_rng in enumerate(trace_rngs)
+        ]
+        self._inflight[request_id] = request
+        try:
+            self.scheduler.submit(entries)
+        except BaseException as error:  # noqa: BLE001 - resolved + re-raised
+            # Resolving the future runs _finish, which clears the just-made
+            # registry entries — no half-admitted request can leak.
+            request.fail(error)
+            raise
+        return request
+
+    def _schedule_revalidation(
+        self, observation: Dict[str, Any], observation_array, num_traces: int, key: str
+    ) -> None:
+        """Start one background refresh of a stale cache entry (single-flight).
+
+        Best-effort by design: if an identical request is already in flight it
+        will refresh the entry itself, and if the queue is full the refresh is
+        simply skipped — the client was already answered from the stale entry,
+        so a refresh failure must never surface to it.
+        """
+        with self._admission_lock:
+            if key in self._inflight_keys:
+                return
+            if self.scheduler.pending_jobs + num_traces > self.queue_capacity:
+                return  # shed the refresh, not the client (it has its answer)
+            try:
+                request = self._admit_locked(
+                    observation, observation_array, num_traces, key, None, self._rng,
+                    internal=True,
+                )
+            except BaseException:  # noqa: BLE001 - the client has its answer
+                # e.g. stop() raced this submit and the scheduler is gone; a
+                # refresh failure must never surface to the stale-served
+                # client (_admit_locked already cleaned up after itself).
+                return
+        self.metrics.record_revalidation()
+        # The refresh's own outcome is uninteresting (its _finalize already
+        # re-put the cache entry); swallow errors so nothing logs as unraised.
+        request.future.add_done_callback(lambda done: done.exception())
 
     def posterior(
         self,
@@ -345,26 +466,33 @@ class PosteriorService:
                 self.workers.submit(shard, self._on_cohort_done)
             except BaseException as error:  # noqa: BLE001 - routed to futures
                 for entry in shard:
-                    if entry.request.fail(error):
-                        self.metrics.record_failed()
+                    self._fail_request(entry.request, error)
+
+    def _fail_request(self, request: PosteriorRequest, error: BaseException) -> None:
+        """Fail a request; internal (refresh) requests skip the client metric."""
+        if request.fail(error) and not getattr(request, "internal", False):
+            self.metrics.record_failed()
 
     def _execute_cohort(self, jobs: List[TraceJob]):
-        """Worker hook: run one lockstep cohort through the mixed engine."""
+        """Thread-worker hook: run one lockstep cohort through the mixed engine."""
         stats = new_engine_stats()
         started = time.perf_counter()
         traces = run_mixed_cohort(self.model, jobs, self.network, stats)
-        self.metrics.record_phase("cohort_execution", time.perf_counter() - started)
+        self._merge_engine_stats(stats, time.perf_counter() - started)
+        return traces
+
+    def _merge_engine_stats(self, stats: Dict[str, int], elapsed: float) -> None:
+        """Fold one cohort's engine counters (local or worker-process) in."""
+        self.metrics.record_phase("cohort_execution", elapsed)
         with self._stats_lock:
             for stat_name, value in stats.items():
                 self._engine_stats[stat_name] += value
-        return traces
 
     def _on_cohort_done(self, entries: List[CohortEntry], traces, error) -> None:
         """Worker completion hook: route traces (or the failure) to requests."""
         if error is not None:
             for entry in entries:
-                if entry.request.fail(error):
-                    self.metrics.record_failed()
+                self._fail_request(entry.request, error)
             return
         completed = []
         for entry, trace in zip(entries, traces):
@@ -376,8 +504,7 @@ class PosteriorService:
             except BaseException as finalize_error:  # noqa: BLE001 - to the future
                 # fail() also works on a fully-delivered request, so a crash
                 # while *forming* the posterior still reaches the client.
-                if request.fail(finalize_error):
-                    self.metrics.record_failed()
+                self._fail_request(request, finalize_error)
 
     def _finalize(self, request: PosteriorRequest) -> None:
         """All traces delivered: form weights, cache, resolve the future.
@@ -393,7 +520,14 @@ class PosteriorService:
         )
         with self._stats_lock:
             posterior.engine_stats = dict(self._engine_stats)
-        self.cache.put(request.cache_key, posterior.freeze())  # type: ignore[attr-defined]
+        # Do not re-pollute a just-invalidated cache: a request admitted under
+        # an older network generation computed its posterior from parameters
+        # that no longer exist.  The client still gets the result (it asked
+        # while that network was live); only the cache write is skipped.
+        if getattr(request, "network_version", 0) == getattr(self.network, "version", 0):
+            self.cache.put(
+                request.cache_key, posterior.freeze(), model_id=self._model_id  # type: ignore[attr-defined]
+            )
         latency = time.monotonic() - request.enqueued_at
         result = ServedPosterior(
             request_id=request.request_id,
@@ -402,7 +536,7 @@ class PosteriorService:
             latency=latency,
             num_traces=request.num_traces,
         )
-        if request.complete(result):
+        if request.complete(result) and not getattr(request, "internal", False):
             self.metrics.record_completed(latency, request.num_traces, cached=False)
 
     def _finish(self, request: PosteriorRequest) -> None:
@@ -428,12 +562,33 @@ class PosteriorService:
         ):
             self.metrics.record_shed()
 
+    # -------------------------------------------------------------- invalidation
+    def invalidate_cache(self) -> int:
+        """Drop this service's cached posteriors (returns how many were dropped).
+
+        Called automatically when the served network is retrained in place
+        (via the network's update listeners); exposed for callers that mutate
+        the model/network outside the training loop.
+        """
+        return self.cache.invalidate(self._model_id)
+
+    def _on_network_updated(self) -> None:
+        self.invalidate_cache()
+        # Worker processes hold their own network copy; roll the generation
+        # so new cohorts run on the retrained parameters (no-op for threads,
+        # which share the parent's network object).
+        refresh = getattr(self.workers, "refresh", None)
+        if refresh is not None:
+            refresh(self.model, self.network)
+
     # ----------------------------------------------------------------- reporting
     def stats(self) -> Dict[str, Any]:
-        """Merged metrics/cache/scheduler/engine snapshot."""
+        """Merged metrics/cache/scheduler/worker/engine snapshot."""
         snapshot = self.metrics.snapshot()
+        snapshot["backend"] = self.backend
         snapshot["cache"] = self.cache.stats()
         snapshot["scheduler"] = self.scheduler.stats()
+        snapshot["workers"] = self.workers.stats()
         with self._stats_lock:
             snapshot["engine"] = dict(self._engine_stats)
         return snapshot

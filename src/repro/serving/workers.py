@@ -8,13 +8,24 @@ sequential execution no matter which worker ran what.  The pool is the
 serving counterpart of that driver — a fixed set of worker threads pulling
 cohorts from a bounded queue, whose fullness is the backpressure signal that
 stalls the scheduler (and, transitively, admission control).
+
+Lifecycle: ``stop(drain=True)`` finishes queued cohorts before the workers
+exit; ``stop(drain=False)`` fails every queued cohort's callback with a
+:class:`repro.serving.request.ServingError` instead, so no submitted future
+is ever abandoned at interpreter exit.  The worker threads are daemonic only
+as a last-resort safety net — the supported path is an explicit
+``shutdown()`` (or the context manager), which the service drives from its
+own ``stop``.  The GIL-free counterpart with the same interface is
+:class:`repro.serving.procpool.ProcessCohortPool`.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.serving.request import ServingError
 
 __all__ = ["CohortWorkerPool"]
 
@@ -31,6 +42,8 @@ class CohortWorkerPool:
     of ``traces``/``error`` is set.
     """
 
+    backend = "thread"
+
     def __init__(
         self,
         run_cohort: Callable[[Sequence[Any]], List[Any]],
@@ -45,9 +58,12 @@ class CohortWorkerPool:
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max(1, capacity))
         self._threads: List[threading.Thread] = []
         self._started = False
+        self.cohorts_executed = 0
+        self.failed_cohorts = 0
+        self.cancelled_cohorts = 0
 
     # ----------------------------------------------------------------- lifecycle
-    def start(self) -> None:
+    def start(self) -> "CohortWorkerPool":
         if self._started:
             raise RuntimeError("worker pool already started")
         self._started = True
@@ -57,16 +73,55 @@ class CohortWorkerPool:
         ]
         for thread in self._threads:
             thread.start()
+        return self
 
-    def stop(self, timeout: Optional[float] = None) -> None:
-        """Finish queued cohorts, then stop every worker."""
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop every worker; ``drain`` finishes queued cohorts first.
+
+        With ``drain=False`` queued (not yet running) cohorts are cancelled:
+        each one's callback receives a :class:`ServingError` so the owning
+        requests resolve instead of hanging on futures forever.
+        """
         if not self._started:
             return
+        if not drain:
+            self._cancel_queued()
         for _ in self._threads:
             self._queue.put(_SENTINEL)
+        # drain=False must not block forever behind a stuck in-flight cohort:
+        # bound the join so the caller's own cleanup (e.g. the service failing
+        # in-flight futures) still runs; the daemon flag reaps the straggler.
+        join_timeout = timeout if timeout is not None else (None if drain else 2.0)
         for thread in self._threads:
-            thread.join(timeout=timeout)
+            thread.join(timeout=join_timeout)
         self._started = False
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Alias of :meth:`stop`, symmetric with the process pool and service."""
+        self.stop(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "CohortWorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _cancel_queued(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SENTINEL:
+                continue
+            entries, callback = item
+            self.cancelled_cohorts += 1
+            try:
+                callback(entries, None, ServingError("worker pool stopped"))
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------ dispatch
     def submit(self, entries: Sequence[Any], callback: Callable[..., None]) -> None:
@@ -82,6 +137,18 @@ class CohortWorkerPool:
             try:
                 traces = self._run_cohort([entry.job for entry in entries])
             except BaseException as error:  # noqa: BLE001 - delivered to requests
+                self.failed_cohorts += 1
                 callback(entries, None, error)
             else:
+                self.cohorts_executed += 1
                 callback(entries, traces, None)
+
+    # --------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "num_workers": self.num_workers,
+            "cohorts_executed": self.cohorts_executed,
+            "failed_cohorts": self.failed_cohorts,
+            "cancelled_cohorts": self.cancelled_cohorts,
+        }

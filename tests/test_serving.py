@@ -379,3 +379,176 @@ class TestFrozenPosterior:
         frozen = emp.freeze()
         assert frozen.latent_names == ["value"]
         assert frozen.extract("value").mean == pytest.approx(emp.mean)
+
+
+class TestLifecycleAndShutdown:
+    def test_thread_pool_context_manager_and_cancel(self):
+        from repro.serving import CohortWorkerPool, ServingError
+
+        executed = []
+        release = threading.Event()
+
+        def run_cohort(jobs):
+            release.wait(timeout=10)
+            executed.append(len(jobs))
+            return list(jobs)
+
+        class Entry:
+            job = object()
+
+        outcomes = []
+        with CohortWorkerPool(run_cohort, num_workers=1, queue_capacity=4) as pool:
+            # First cohort occupies the worker; the rest sit in the queue.
+            for _ in range(3):
+                pool.submit([Entry()], lambda e, t, err: outcomes.append(err))
+            release.set()
+            pool.shutdown(drain=True)
+        assert outcomes == [None, None, None]
+        assert pool.stats()["cohorts_executed"] == 3
+
+        # Cancel path: queued cohorts fail with ServingError instead of
+        # running (the worker is parked on the first, un-released cohort).
+        release.clear()
+        outcomes = []
+        pool = CohortWorkerPool(run_cohort, num_workers=1, queue_capacity=4).start()
+        for _ in range(3):
+            pool.submit([Entry()], lambda e, t, err: outcomes.append(err))
+        time.sleep(0.05)  # let the worker dequeue the first cohort
+        release.set()
+        pool.stop(drain=False)
+        assert sum(isinstance(err, ServingError) for err in outcomes) >= 1
+        assert pool.stats()["cancelled_cohorts"] >= 1
+
+    def test_pending_requests_resolve_or_error_on_close(self, served_engine):
+        # The shutdown contract: nothing submitted before stop() is ever
+        # abandoned — every future resolves with a result or a ServingError.
+        model, engine = served_engine
+        service = make_service(model, engine, max_latency=0.5).start()
+        futures = [
+            service.submit(OBSERVATION, num_traces=4, seed=seed, use_cache=False)
+            for seed in range(3)
+        ]
+        service.stop(drain=False)
+        from repro.serving import ServingError
+
+        for future in futures:
+            try:
+                result = future.result(timeout=10)
+            except ServingError:
+                continue  # resolved with the documented error: acceptable
+            assert result.num_traces == 4  # or resolved with a real posterior
+        assert all(future.done() for future in futures)
+
+    def test_service_shutdown_alias_and_close(self, served_engine):
+        model, engine = served_engine
+        service = make_service(model, engine).start()
+        service.shutdown()
+        assert not service._running
+        service.close()  # idempotent
+
+
+class TestCacheInvalidation:
+    def test_invalidate_scoped_by_model_id(self):
+        cache = PosteriorCache(capacity=8)
+        frozen = Empirical([1.0], [0.0]).freeze()
+        cache.put("a", frozen, model_id="m1")
+        cache.put("b", frozen, model_id="m1")
+        cache.put("c", frozen, model_id="m2")
+        assert cache.invalidate("m1") == 2
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("c") is frozen
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 3
+
+    def test_explicit_service_invalidation_forces_fresh_inference(self, served_engine):
+        model, engine = served_engine
+        with make_service(model, engine) as service:
+            first = service.posterior(OBSERVATION, num_traces=8, seed=1, timeout=60)
+            assert not first.cached
+            assert service.posterior(OBSERVATION, num_traces=8, timeout=60).cached
+            assert service.invalidate_cache() == 1
+            refreshed = service.posterior(OBSERVATION, num_traces=8, seed=1, timeout=60)
+            assert not refreshed.cached
+
+    def test_inflight_request_does_not_repollute_invalidated_cache(self, served_engine):
+        # A request admitted under network generation N must not write its
+        # posterior into the cache after generation N+1 invalidated it — with
+        # no TTL, that stale entry would otherwise be served forever.
+        model, engine = served_engine
+        with make_service(model, engine, max_latency=0.2) as service:
+            future = service.submit(OBSERVATION, num_traces=4, use_cache=True)
+            # While the request waits out the flush latency, the network is
+            # "retrained" (version bump + listener-driven invalidation).
+            engine.network.notify_updated()
+            assert future.result(timeout=60).num_traces == 4
+            assert len(service.cache) == 0  # the old-generation result was not cached
+            assert not service.posterior(OBSERVATION, num_traces=4, timeout=60).cached
+
+    def test_retraining_the_network_invalidates_served_posteriors(self, served_engine):
+        model, engine = served_engine
+        with make_service(model, engine) as service:
+            service.posterior(OBSERVATION, num_traces=8, timeout=60)
+            assert len(service.cache) == 1
+            version_before = engine.network.version
+            engine.train(model, num_traces=40, minibatch_size=20, learning_rate=1e-3)
+            assert engine.network.version == version_before + 1
+            assert len(service.cache) == 0  # listener dropped the stale entry
+            assert not service.posterior(OBSERVATION, num_traces=8, timeout=60).cached
+        # After stop() the listener is unregistered: further training must not
+        # call into a stopped service.
+        assert service._on_network_updated not in engine.network._update_listeners
+
+
+class TestStaleWhileRevalidate:
+    def test_cache_unit_stale_lookup(self):
+        clock = {"now": 0.0}
+        cache = PosteriorCache(capacity=4, ttl=10.0, clock=lambda: clock["now"])
+        fresh_only = PosteriorCache(capacity=4, ttl=10.0, clock=lambda: clock["now"])
+        frozen = Empirical([1.0], [0.0]).freeze()
+        cache.put("k", frozen)
+        fresh_only.put("k", frozen)
+        clock["now"] = 11.0
+        # Plain get: hard expiry, entry dropped.
+        assert fresh_only.get("k") is None
+        assert fresh_only.expirations == 1
+        # allow_stale: entry kept and reported stale.
+        value, stale = cache.lookup("k", allow_stale=True)
+        assert value is frozen and stale
+        assert cache.stats()["stale_hits"] == 1
+        assert len(cache) == 1
+
+    def test_stale_entry_served_while_refreshing(self, served_engine):
+        model, engine = served_engine
+        with make_service(model, engine, cache_ttl=0.1) as service:
+            first = service.posterior(OBSERVATION, num_traces=8, seed=1, timeout=60)
+            assert not first.cached
+            time.sleep(0.15)  # let the entry expire
+            stale = service.posterior(OBSERVATION, num_traces=8, timeout=60)
+            # Served immediately from the expired entry...
+            assert stale.cached
+            assert service.metrics.stale_served == 1
+            assert service.metrics.revalidations == 1
+            # ...while exactly one background refresh recomputes it.  The
+            # refresh is internal: it never counts toward client completions.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and service._inflight:
+                time.sleep(0.01)
+            assert not service._inflight
+            assert service.metrics.completed == 2  # first + stale serve only
+            fresh = service.posterior(OBSERVATION, num_traces=8, timeout=60)
+            assert fresh.cached
+            assert service.metrics.stale_served == 1  # refreshed entry is fresh again
+
+    def test_refresh_is_single_flight(self, served_engine):
+        model, engine = served_engine
+        with make_service(model, engine, cache_ttl=0.05, max_latency=0.05) as service:
+            service.posterior(OBSERVATION, num_traces=8, timeout=60)
+            time.sleep(0.1)
+            results = [
+                service.posterior(OBSERVATION, num_traces=8, timeout=60) for _ in range(4)
+            ]
+            assert all(result.cached for result in results)
+            # All four stale serves triggered at most one refresh.
+            assert service.metrics.revalidations == 1
+            assert service.metrics.stale_served == 4

@@ -1,0 +1,377 @@
+"""Tests of the process-based cohort execution backend.
+
+The acceptance contract of ``backend="process"``: seeded posteriors are
+bit-identical to the thread backend and to a direct engine call (randomness
+is derived in the parent, so *where* a shard runs can never change what it
+draws); a worker-process crash requeues the shard (or fails it loudly) —
+never drops it silently; and the pool/service shut down cleanly with every
+submitted future resolved.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RandomState
+from repro.distributed.inference import distributed_importance_sampling
+from repro.ppl import FunctionModel
+from repro.ppl.inference.batched import TraceJob, per_trace_rngs
+from repro.ppl.inference.inference_compilation import InferenceCompilation
+from repro.ppl.nn.embeddings import ObservationEmbeddingFC
+from repro.serving import (
+    PosteriorService,
+    ProcessCohortPool,
+    ServiceOverloaded,
+    ServingError,
+    WorkerCrashed,
+)
+from repro.serving.procpool import _picklable_error
+from tests.test_batched_inference import OBSERVATION, lockstep_program
+
+
+def slow_program():
+    """A trace whose body sleeps, so tests can catch a worker mid-shard."""
+    import repro.ppl as ppl
+    from repro.distributions import Normal, Uniform
+
+    a = ppl.sample(Uniform(-1.0, 1.0), name="a", address="slow_a")
+    time.sleep(0.25)
+    ppl.observe(Normal(a, 0.5), name="obs")
+    return a
+
+
+SLOW_OBSERVATION = {"obs": np.array(0.3)}
+
+
+@pytest.fixture(scope="module")
+def served_engine():
+    model = FunctionModel(lockstep_program, name="lockstep")
+    engine = InferenceCompilation(
+        observation_embedding=ObservationEmbeddingFC(input_dim=4, embedding_dim=16),
+        observe_key="obs",
+        rng=RandomState(0),
+    )
+    engine.train(model, num_traces=400, minibatch_size=20, learning_rate=3e-3)
+    return model, engine
+
+
+def make_service(model, engine, **kwargs):
+    defaults = dict(observe_key="obs", max_batch=32, max_latency=0.01, num_workers=2)
+    defaults.update(kwargs)
+    network = engine.network if engine is not None else None
+    return PosteriorService(model, network, **defaults)
+
+
+class TestCrossBackendEquivalence:
+    def test_process_thread_and_direct_posteriors_identical(self, served_engine):
+        model, engine = served_engine
+        seeds = (7, 11)
+        results = {}
+        for backend in ("thread", "process"):
+            with make_service(model, engine, backend=backend) as service:
+                futures = {
+                    seed: service.submit(OBSERVATION, num_traces=16, seed=seed, use_cache=False)
+                    for seed in seeds
+                }
+                results[backend] = {
+                    seed: future.result(timeout=120) for seed, future in futures.items()
+                }
+                assert service.stats()["backend"] == backend
+        for seed in seeds:
+            direct = engine.posterior(
+                model, OBSERVATION, num_traces=16, rng=RandomState(seed)
+            )
+            for latent in ("a", "b", "c"):
+                direct_mean = direct.extract(latent).mean
+                for backend in ("thread", "process"):
+                    served = results[backend][seed].posterior.extract(latent).mean
+                    assert served == pytest.approx(direct_mean, abs=1e-12)
+            for backend in ("thread", "process"):
+                assert results[backend][seed].posterior.log_evidence == pytest.approx(
+                    direct.log_evidence, abs=1e-12
+                )
+
+    def test_distributed_driver_backends_identical(self):
+        model = FunctionModel(lockstep_program, name="lockstep")
+        posteriors = {
+            backend: distributed_importance_sampling(
+                model,
+                OBSERVATION,
+                num_traces=48,
+                num_ranks=3,
+                rng=RandomState(5),
+                backend=backend,
+                num_workers=2 if backend == "process" else None,
+            )
+            for backend in ("sequential", "thread", "process")
+        }
+        reference = posteriors["sequential"]
+        for backend in ("thread", "process"):
+            assert posteriors[backend].log_evidence == reference.log_evidence
+            for latent in ("a", "b", "c"):
+                assert (
+                    posteriors[backend].extract(latent).mean
+                    == reference.extract(latent).mean
+                )
+
+    def test_trace_jobs_pickle_with_stream_state_intact(self):
+        rng = RandomState(17)
+        trace_rngs = per_trace_rngs(rng, 4)
+        jobs = [
+            TraceJob(0, OBSERVATION, np.asarray(OBSERVATION["obs"], dtype=float), trace_rng)
+            for trace_rng in trace_rngs
+        ]
+        clones = pickle.loads(pickle.dumps(jobs))
+        for job, clone in zip(jobs, clones):
+            assert np.array_equal(job.observation["obs"], clone.observation["obs"])
+            # The pickled stream must continue exactly where the original
+            # would: same next draws.
+            assert clone.rng.generator.random() == job.rng.generator.random()
+            assert clone.rng.generator.normal() == job.rng.generator.normal()
+
+
+class TestWorkerCrash:
+    def _submit_slow_shard(self, pool, num_jobs=2):
+        model_rng = RandomState(1)
+        jobs = [
+            TraceJob(0, SLOW_OBSERVATION, None, trace_rng)
+            for trace_rng in per_trace_rngs(model_rng, num_jobs)
+        ]
+        outcome = {}
+
+        def on_done(_entries, traces, error):
+            outcome["traces"] = traces
+            outcome["error"] = error
+
+        pool.submit(jobs, on_done)
+        return outcome
+
+    def _busy_worker(self, pool, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for worker in pool._workers:
+                if worker.outstanding and worker.process.is_alive():
+                    return worker
+            time.sleep(0.01)
+        raise AssertionError("no worker picked up the shard")
+
+    def _wait_for_outcome(self, outcome, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and not outcome:
+            time.sleep(0.02)
+        assert outcome, "shard neither completed nor failed"
+
+    def test_killed_worker_shard_is_requeued(self):
+        model = FunctionModel(slow_program, name="slow")
+        pool = ProcessCohortPool(
+            model, None, num_workers=2, max_requeues=2, health_interval=0.02
+        )
+        pool.start()
+        try:
+            outcome = self._submit_slow_shard(pool)
+            worker = self._busy_worker(pool)
+            os.kill(worker.process.pid, signal.SIGKILL)
+            self._wait_for_outcome(outcome)
+            assert outcome["error"] is None
+            assert len(outcome["traces"]) == 2
+            stats = pool.stats()
+            assert stats["requeues"] >= 1
+            assert stats["worker_crashes"] >= 1
+            assert stats["shards_executed"] == 1
+        finally:
+            pool.stop(drain=False)
+
+    def test_requeue_budget_exhaustion_fails_loudly(self):
+        model = FunctionModel(slow_program, name="slow")
+        pool = ProcessCohortPool(
+            model, None, num_workers=1, max_requeues=0, health_interval=0.02
+        )
+        pool.start()
+        try:
+            outcome = self._submit_slow_shard(pool)
+            worker = self._busy_worker(pool)
+            os.kill(worker.process.pid, signal.SIGKILL)
+            self._wait_for_outcome(outcome)
+            assert isinstance(outcome["error"], WorkerCrashed)
+            assert pool.stats()["failed_shards"] == 1
+        finally:
+            pool.stop(drain=False)
+
+    def test_service_surfaces_worker_crash_after_budget(self):
+        model = FunctionModel(slow_program, name="slow")
+        service = PosteriorService(
+            model, None, num_workers=1, backend="process", max_requeues=0,
+            max_latency=0.001,
+        ).start()
+        try:
+            service.workers.health_interval = 0.02
+            future = service.submit(SLOW_OBSERVATION, num_traces=2, seed=3, use_cache=False)
+            deadline = time.monotonic() + 5.0
+            victim = None
+            while time.monotonic() < deadline and victim is None:
+                for worker in service.workers._workers:
+                    if worker.outstanding and worker.process.is_alive():
+                        victim = worker
+                time.sleep(0.01)
+            assert victim is not None
+            os.kill(victim.process.pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=30)
+        finally:
+            service.stop(drain=False)
+
+
+class TestProcessLifecycle:
+    def test_pool_context_manager_and_double_stop(self):
+        model = FunctionModel(lockstep_program, name="lockstep")
+        with ProcessCohortPool(model, None, num_workers=1) as pool:
+            rngs = per_trace_rngs(RandomState(2), 3)
+            outcome = {}
+
+            def on_done(_entries, traces, error):
+                outcome["traces"], outcome["error"] = traces, error
+
+            pool.submit([TraceJob(0, OBSERVATION, None, rng) for rng in rngs], on_done)
+            pool.stop(drain=True)  # idempotent with the context exit
+            assert outcome["error"] is None
+            assert len(outcome["traces"]) == 3
+        pool.stop()  # after-close stop is a no-op
+        with pytest.raises(RuntimeError):
+            pool.submit([], lambda *args: None)
+
+    def test_stop_without_drain_fails_pending_futures(self):
+        model = FunctionModel(slow_program, name="slow")
+        service = PosteriorService(
+            model, None, num_workers=1, backend="process", max_latency=0.5
+        ).start()
+        # Still queued in the scheduler when the service stops: the future
+        # must resolve with a ServingError, not hang forever.
+        future = service.submit(SLOW_OBSERVATION, num_traces=2, use_cache=False)
+        service.stop(drain=False)
+        with pytest.raises(ServingError):
+            future.result(timeout=10)
+
+    def test_drain_completes_inflight_process_requests(self, served_engine):
+        model, engine = served_engine
+        service = make_service(model, engine, backend="process", max_latency=0.2).start()
+        future = service.submit(OBSERVATION, num_traces=8, seed=2, use_cache=False)
+        service.shutdown(drain=True)
+        assert future.result(timeout=10).num_traces == 8
+
+    def test_remote_models_force_thread_backend(self):
+        from repro.ppl.model import RemoteModel
+        from repro.ppx.transport import make_queue_pair
+
+        ppl_side, _sim_side = make_queue_pair()
+        service = PosteriorService(RemoteModel(ppl_side), None, backend="process")
+        assert service.backend == "thread"
+        assert service.workers.num_workers == 1
+
+    def test_unknown_backend_rejected(self):
+        model = FunctionModel(lockstep_program, name="lockstep")
+        with pytest.raises(ValueError):
+            PosteriorService(model, None, backend="mpi")
+
+
+class TestErrorTransport:
+    def test_unpicklable_errors_are_wrapped(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        wrapped = _picklable_error(Unpicklable("boom"))
+        assert isinstance(wrapped, ServingError)
+        assert "Unpicklable" in str(wrapped)
+        passthrough = _picklable_error(ValueError("fine"))
+        assert isinstance(passthrough, ValueError)
+
+    def test_model_exception_reaches_the_client(self):
+        def broken_program():
+            raise RuntimeError("simulator exploded")
+
+        model = FunctionModel(broken_program, name="broken")
+        with PosteriorService(
+            model, None, num_workers=1, backend="process", max_latency=0.001
+        ) as service:
+            future = service.submit({"obs": 1.0}, num_traces=2, use_cache=False)
+            with pytest.raises(RuntimeError, match="simulator exploded"):
+                future.result(timeout=30)
+
+
+def gen1_program():
+    import repro.ppl as ppl
+    from repro.distributions import Normal, Uniform
+
+    a = ppl.sample(Uniform(-1.0, 1.0), name="a", address="gen1_a")
+    ppl.observe(Normal(a, 0.5), name="obs")
+    return a
+
+
+def gen2_program():
+    import repro.ppl as ppl
+    from repro.distributions import Normal, Uniform
+
+    a = ppl.sample(Uniform(-1.0, 1.0), name="a", address="gen2_a")
+    ppl.observe(Normal(a, 0.5), name="obs")
+    return a
+
+
+class TestWorkerRefresh:
+    def _run_one_shard(self, pool, num_jobs=2):
+        jobs = [
+            TraceJob(0, SLOW_OBSERVATION, None, trace_rng)
+            for trace_rng in per_trace_rngs(RandomState(4), num_jobs)
+        ]
+        outcome = {}
+
+        def on_done(_entries, traces, error):
+            outcome["traces"], outcome["error"] = traces, error
+
+        pool.submit(jobs, on_done)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not outcome:
+            time.sleep(0.01)
+        assert outcome and outcome["error"] is None
+        return outcome["traces"]
+
+    def test_refresh_rolls_workers_onto_new_model_state(self):
+        pool = ProcessCohortPool(FunctionModel(gen1_program, name="gen"), None, num_workers=1)
+        pool.start()
+        try:
+            traces = self._run_one_shard(pool)
+            assert traces[0].addresses == ("gen1_a",)
+            # The parent swaps in new model state (the in-place-retraining
+            # shape); fresh workers must serve it.
+            pool.refresh(model=FunctionModel(gen2_program, name="gen"))
+            traces = self._run_one_shard(pool)
+            assert traces[0].addresses == ("gen2_a",)
+        finally:
+            pool.stop(drain=False)
+
+    def test_service_process_backend_follows_retraining(self, served_engine):
+        model, engine = served_engine
+        with make_service(model, engine, backend="process") as service:
+            service.posterior(OBSERVATION, num_traces=4, timeout=60)
+            generation_before = [worker.process.pid for worker in service.workers._workers]
+            engine.network.notify_updated()
+            # The listener rolled the worker generation: new processes.
+            generation_after = [worker.process.pid for worker in service.workers._workers]
+            assert set(generation_before).isdisjoint(generation_after)
+            # And the rolled pool still serves correctly.
+            assert service.posterior(OBSERVATION, num_traces=4, timeout=60).num_traces == 4
+
+    def test_pool_restarts_after_stop(self):
+        pool = ProcessCohortPool(FunctionModel(gen1_program, name="gen"), None, num_workers=1)
+        pool.start()
+        self._run_one_shard(pool)
+        pool.stop(drain=True)
+        pool.start()  # a stopped pool is restartable, like the thread pool
+        try:
+            traces = self._run_one_shard(pool)
+            assert len(traces) == 2
+        finally:
+            pool.stop(drain=True)
