@@ -25,7 +25,28 @@ from repro.data.shelf import ShardStore
 from repro.trace.pruning import AddressDictionary, prune_trace, restore_trace
 from repro.trace.trace import Trace
 
-__all__ = ["TraceDataset", "InMemoryTraceDataset", "generate_dataset"]
+__all__ = ["TraceDataset", "InMemoryTraceDataset", "generate_dataset", "observation_array"]
+
+
+def observation_array(trace: Trace, observe_key: Optional[str] = None) -> np.ndarray:
+    """The observation of ``trace`` as a float array ready for batching.
+
+    The one trace-to-array rule shared by the inference network and the
+    minibatch packing layer: dict observations are resolved through
+    ``observe_key`` (or the single entry), and scalars become length-1
+    vectors so stacking over traces always yields a ``(batch, ...)`` array.
+    """
+    observation = trace.observation
+    if isinstance(observation, dict):
+        if observe_key is not None:
+            observation = observation[observe_key]
+        elif len(observation) == 1:
+            observation = next(iter(observation.values()))
+        else:
+            raise ValueError(
+                "trace has multiple observes; construct the InferenceNetwork with observe_key"
+            )
+    return np.atleast_1d(np.asarray(observation, dtype=float))
 
 
 class TraceDataset:

@@ -199,6 +199,24 @@ class BatchedDistribution:
 class BatchedNormal(BatchedDistribution):
     """B independent scalar normals held as ``(B,)`` parameter arrays."""
 
+    @classmethod
+    def from_distributions(cls, distributions: Sequence[Normal]) -> "BatchedNormal":
+        """Pack B per-trace :class:`Normal` objects into one batched object.
+
+        The inverse of :meth:`row_distribution`: ``row(i)`` of the result is
+        sample- and density-equivalent to ``distributions[i]``.  Used by the
+        minibatch packing layer to turn a same-address group's per-trace
+        priors into ``(B,)`` parameter arrays once, instead of touching B
+        objects per training iteration.
+        """
+        for d in distributions:
+            if not isinstance(d, Normal) or np.ndim(d.loc) != 0 or np.ndim(d.scale) != 0:
+                raise ValueError("from_distributions needs scalar Normal objects")
+        return cls(
+            np.array([float(d.loc) for d in distributions]),
+            np.array([float(d.scale) for d in distributions]),
+        )
+
     def __init__(self, locs, scales) -> None:
         self.locs = np.asarray(locs, dtype=float).reshape(-1)
         self.scales = np.broadcast_to(
@@ -242,6 +260,26 @@ class BatchedCategorical(BatchedDistribution):
     """
 
     discrete = True
+
+    @classmethod
+    def from_distributions(
+        cls, distributions: Sequence[Categorical], choice_kernel: Optional[str] = None
+    ) -> "BatchedCategorical":
+        """Pack B per-trace :class:`Categorical` objects into a ``(B, K)`` batch.
+
+        All inputs must share the same number of categories (the same-address
+        contract of a sub-minibatch group).  ``row(i)`` of the result is
+        equivalent to ``distributions[i]``.
+        """
+        for d in distributions:
+            if not isinstance(d, Categorical):
+                raise ValueError("from_distributions needs Categorical objects")
+        categories = {d.num_categories for d in distributions}
+        if len(categories) > 1:
+            raise ValueError(
+                f"categoricals in one batch must share a category count, got {sorted(categories)}"
+            )
+        return cls(np.stack([d.probs for d in distributions], axis=0), choice_kernel=choice_kernel)
 
     def __init__(self, probs, choice_kernel: Optional[str] = None) -> None:
         probs_arr = np.asarray(probs, dtype=float)
@@ -317,6 +355,65 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
     two ``ndtr`` calls for the whole batch instead of two per component
     object — and no per-component objects are ever allocated.
     """
+
+    @classmethod
+    def from_distributions(
+        cls, distributions: Sequence[Distribution], choice_kernel: Optional[str] = None
+    ) -> "BatchedMixtureOfTruncatedNormals":
+        """Pack B per-trace mixtures into ``(B, K)`` parameter arrays.
+
+        Accepts the shapes the proposal layers emit: :class:`Mixture` objects
+        whose components are all scalar :class:`Normal` (unbounded row) or all
+        :class:`TruncatedNormal` sharing one truncation interval (bounded
+        row), plus bare :class:`Normal` / :class:`TruncatedNormal` objects as
+        K=1 mixtures.  Every row must have the same component count.  The
+        inverse of :meth:`row_distribution`: ``row(i)`` samples and scores
+        bit-identically to ``distributions[i]``.
+        """
+        locs, scales, weights, lows, highs, bounded = [], [], [], [], [], []
+        for d in distributions:
+            if isinstance(d, Mixture):
+                components, row_weights = d.components, d.weights
+            elif isinstance(d, (Normal, TruncatedNormal)):
+                components, row_weights = [d], np.ones(1)
+            else:
+                raise ValueError(
+                    f"cannot pack {type(d).__name__} into a batched truncated-normal mixture"
+                )
+            kinds = {type(c) for c in components}
+            if kinds == {TruncatedNormal}:
+                row_lows = {c.low for c in components}
+                row_highs = {c.high for c in components}
+                if len(row_lows) > 1 or len(row_highs) > 1:
+                    raise ValueError("truncated components of one row must share their interval")
+                lows.append(row_lows.pop())
+                highs.append(row_highs.pop())
+                bounded.append(True)
+            elif kinds == {Normal}:
+                if any(np.ndim(c.loc) != 0 or np.ndim(c.scale) != 0 for c in components):
+                    raise ValueError("from_distributions needs scalar components")
+                lows.append(-np.inf)
+                highs.append(np.inf)
+                bounded.append(False)
+            else:
+                raise ValueError("mixture components must be all Normal or all TruncatedNormal")
+            locs.append([float(c.loc) for c in components])
+            scales.append([float(c.scale) for c in components])
+            weights.append(row_weights)
+        component_counts = {len(row) for row in locs}
+        if len(component_counts) > 1:
+            raise ValueError(
+                f"mixtures in one batch must share a component count, got {sorted(component_counts)}"
+            )
+        return cls(
+            np.asarray(locs, dtype=float),
+            np.asarray(scales, dtype=float),
+            np.stack([np.asarray(w, dtype=float) for w in weights], axis=0),
+            np.asarray(lows, dtype=float),
+            np.asarray(highs, dtype=float),
+            bounded=np.asarray(bounded, dtype=bool),
+            choice_kernel=choice_kernel,
+        )
 
     def __init__(
         self, locs, scales, weights, lows=None, highs=None, bounded=None,
@@ -408,12 +505,11 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
         # The generator draws stay per row (each row owns its stream and must
         # consume it exactly as row(i).sample would); the inverse-CDF math
         # over the chosen components is then evaluated in one array pass.
-        components = np.zeros(self.batch_size, dtype=np.int64)
-        # Zero-filled (not empty) scratch: unbounded rows leave their uniform
-        # unset and bounded rows their normal; garbage bit patterns would
-        # still flow through the vectorized math below before being masked.
-        uniforms = np.zeros(self.batch_size)
-        normals = np.zeros(self.batch_size)
+        components = np.empty(self.batch_size, dtype=np.int64)
+        # Scratch may stay uninitialised where unused: the gathers below read
+        # uniforms only at bounded rows and normals only at unbounded ones.
+        uniforms = np.empty(self.batch_size)
+        normals = np.empty(self.batch_size)
         for i in range(self.batch_size):
             components[i] = self._choose_component(i, generators[i])
             if self.bounded[i]:
@@ -422,25 +518,32 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
                 normals[i] = generators[i].normal(
                     self.locs[i, components[i]], self.scales[i, components[i]]
                 )
-        rows = np.arange(self.batch_size)
-        locs = self.locs[rows, components]
-        scales = self.scales[rows, components]
         out = np.empty(self.batch_size)
         free = ~self.bounded
         if np.any(free):
             out[free] = normals[free]
-        trunc = self.bounded
-        if np.any(trunc):
-            zs = self._zs[rows, components]
-            right = self._alphas[rows, components] >= 0
+        # Truncated rows: gather the chosen component's parameters for the
+        # bounded rows only, then invert all of them through ONE clipped
+        # ndtri call.  Row-gathering (instead of evaluating the whole batch
+        # and masking) keeps the expensive inverse-CDF off unbounded rows
+        # while evaluating bit-for-bit the same per-row expression as
+        # _sample_component / the per-object TruncatedNormal kernel.
+        trunc = np.flatnonzero(self.bounded)
+        if trunc.size:
+            chosen = components[trunc]
+            zs = self._zs[trunc, chosen]
+            right = self._alphas[trunc, chosen] >= 0
             quantile = np.where(
                 right,
-                self._sf_lows[rows, components] - uniforms * zs,
-                self._cdf_lows[rows, components] + uniforms * zs,
+                self._sf_lows[trunc, chosen] - uniforms[trunc] * zs,
+                self._cdf_lows[trunc, chosen] + uniforms[trunc] * zs,
             )
             values = np.where(right, -1.0, 1.0) * ndtri(np.clip(quantile, 1e-300, 1.0))
-            values = np.clip(locs + scales * values, self.lows, self.highs)
-            out[trunc] = values[trunc]
+            out[trunc] = np.clip(
+                self.locs[trunc, chosen] + self.scales[trunc, chosen] * values,
+                self.lows[trunc],
+                self.highs[trunc],
+            )
         return out
 
     # ---------------------------------------------------------------- density

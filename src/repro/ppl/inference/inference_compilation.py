@@ -87,6 +87,9 @@ class InferenceCompilation:
         lr_schedule: Optional[str] = None,
         end_learning_rate: float = 1e-5,
         callback: Optional[Callable[[int, float], None]] = None,
+        offline_schedule: Optional[str] = None,
+        tokens_per_minibatch: Optional[int] = None,
+        cache_packs: bool = True,
     ) -> TrainingHistory:
         """Train the proposal network.
 
@@ -96,11 +99,44 @@ class InferenceCompilation:
 
         Offline mode (``dataset`` given): the network's layers are pre-
         generated from the dataset and frozen, and minibatches are drawn from
-        the dataset (Algorithm 2's Gˆ(x, y) branch).
+        the dataset (Algorithm 2's Gˆ(x, y) branch).  With
+        ``offline_schedule="sorted"`` (the default) the dataset is sorted by
+        trace type once and chunked into token-budgeted minibatches
+        (:class:`repro.data.packing.PackedEpochPlan`): each epoch visits
+        every minibatch in a freshly shuffled order, sub-minibatches stay
+        large (Section 4.4.3), and the packed array inputs built for a
+        minibatch are cached across epochs (``cache_packs=False`` rebuilds
+        them per visit, trading the reuse for constant memory on datasets
+        whose packed form would not fit).  ``tokens_per_minibatch``
+        overrides the plan's token budget (default: ``minibatch_size`` times
+        the mean trace length, Section 7.2's dynamic batching).
+        ``offline_schedule="random"`` retains the legacy per-iteration
+        uniform draw over the raw dataset as the benchmark reference.
         """
         if dataset is None and model is None:
             raise ValueError("either a model (online) or a dataset (offline) is required")
         offline = dataset is not None
+        # Validate the schedule knobs — names AND values — before any side
+        # effect: pregenerating layers freezes the network irreversibly, so a
+        # bad argument must not leave the engine half-configured.
+        if minibatch_size < 1:
+            raise ValueError("minibatch_size must be >= 1")
+        if tokens_per_minibatch is not None and tokens_per_minibatch <= 0:
+            raise ValueError("tokens_per_minibatch must be positive")
+        if offline:
+            offline_schedule = offline_schedule or "sorted"
+            if offline_schedule not in ("sorted", "random"):
+                raise ValueError(
+                    f"offline_schedule must be 'sorted' or 'random', got {offline_schedule!r}"
+                )
+        elif offline_schedule is not None:
+            raise ValueError("offline_schedule only applies to offline training")
+        if tokens_per_minibatch is not None and (not offline or offline_schedule != "sorted"):
+            raise ValueError(
+                "tokens_per_minibatch only applies to the offline 'sorted' schedule"
+            )
+        if not cache_packs and (not offline or offline_schedule != "sorted"):
+            raise ValueError("cache_packs only applies to the offline 'sorted' schedule")
         if offline:
             from repro.ppl.nn.preprocessing import pregenerate_layers
 
@@ -115,16 +151,39 @@ class InferenceCompilation:
             scheduler = optim.PolynomialDecayLR(opt, total_steps=num_iterations, end_lr=end_learning_rate, power=1.0)
 
         dataset_list = list(dataset) if offline else None
+        plan = None
+        if offline and offline_schedule == "sorted":
+            from repro.data.packing import PackedEpochPlan
+
+            plan = PackedEpochPlan(
+                dataset_list,
+                minibatch_size,
+                observe_key=self.network.observe_key,
+                tokens_per_batch=tokens_per_minibatch,
+                cache_packs=cache_packs,
+            )
         for iteration in range(num_iterations):
-            if offline:
+            if plan is not None:
+                batch_id = plan.next_batch_id(self.rng)
+                minibatch = plan.minibatch(batch_id)
+                if self.network.vectorized_loss:
+                    loss = self.network.loss_packed(plan.packs(batch_id))
+                else:
+                    # The reference loss re-derives everything per object:
+                    # building (and caching) packs it would never read is
+                    # pure waste, so score the traces directly.  Group order
+                    # is identical either way — histories do not change.
+                    loss = self.network.loss(minibatch)
+            elif offline:
                 indices = self.rng.generator.choice(len(dataset_list), size=min(minibatch_size, len(dataset_list)), replace=False)
                 minibatch = [dataset_list[i] for i in indices]
+                loss = self.network.loss(minibatch)
             else:
                 minibatch = model.prior_traces(minibatch_size, rng=self.rng)
                 new_params = self.network.polymorph(minibatch)
                 if new_params:
                     opt.add_param_group([p for _, p in new_params], [n for n, _ in new_params])
-            loss = self.network.loss(minibatch)
+                loss = self.network.loss(minibatch)
             opt.zero_grad()
             loss.backward()
             opt.step()

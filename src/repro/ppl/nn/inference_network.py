@@ -34,11 +34,15 @@ from __future__ import annotations
 
 import pickle
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay lazy (cycle guard)
+    from repro.data.packing import PackedSubMinibatch
+
 from repro.common.config import Config, get_config
+from repro.data.dataset import observation_array
 from repro.distributions import Categorical, Distribution, distribution_from_dict
 from repro.ppl.nn.embeddings import (
     AddressEmbedding,
@@ -64,12 +68,17 @@ class InferenceNetwork(Module):
         config: Optional[Config] = None,
         observe_key: Optional[str] = None,
         rng=None,
+        vectorized_loss: bool = True,
     ) -> None:
         super().__init__()
         cfg = config or get_config()
         self.config = cfg
         self.observe_key = observe_key
         self._rng = rng
+        #: score training steps through packed array inputs (the default hot
+        #: path); ``False`` retains the per-object reference path, mirroring
+        #: the lockstep engine's ``batched_proposals=False`` precedent.
+        self.vectorized_loss = bool(vectorized_loss)
         if observation_embedding is None:
             observation_embedding = ObservationEmbedding3DCNN(
                 observation_shape=cfg.observation_shape,
@@ -89,6 +98,16 @@ class InferenceNetwork(Module):
         #: per-address record of the prior used to build its layers (for saving)
         self.address_specs: Dict[str, Dict[str, Any]] = {}
         self._frozen = False
+        #: addresses already resolved by :meth:`polymorph` — layered or (when
+        #: frozen) discarded — so re-scans are set lookups, not layer probes
+        self._seen_addresses: set = set()
+        #: trace types whose full address sequence has been scanned; traces
+        #: of a known type are skipped outright (same type = same addresses)
+        self._known_trace_types: set = set()
+        #: addresses reported as discarded by the most recent polymorph call
+        self.last_discarded: List[str] = []
+        #: sub-minibatch count of the most recent loss evaluation
+        self._last_sub_minibatches = 0
         #: bumped by :meth:`notify_updated` every time the parameters change
         #: in place (a completed training run); serving caches key on it
         self.version = 0
@@ -134,23 +153,35 @@ class InferenceNetwork(Module):
         distributed offline mode after layer pre-generation), unseen addresses
         are reported via :attr:`last_discarded` instead and no layers are
         created, mirroring the paper's freeze-and-discard behaviour.
+
+        The scan is amortized O(new addresses), not O(minibatch x trace
+        length): traces whose trace type has been scanned before are skipped
+        outright (same type = same address sequence), and within a new type
+        every already-resolved address — layered, or discarded by the frozen
+        network — is a single set lookup.  A discarded address is therefore
+        reported the *first* time it is seen, not once per occurrence.
         """
         new_parameters: List[Tuple[str, Parameter]] = []
-        self.last_discarded: List[str] = []
+        self.last_discarded = []
+        known_types = self._known_trace_types
+        seen = self._seen_addresses
         for trace in traces:
+            trace_type = trace.trace_type
+            if trace_type in known_types:
+                continue
             for sample in trace.samples:
-                if not sample.controlled or sample.distribution is None:
-                    continue
-                address = sample.address
-                if address in self.proposal_layers:
+                if sample.address in seen or not sample.controlled or sample.distribution is None:
                     continue
                 if self._frozen:
-                    self.last_discarded.append(address)
+                    self.last_discarded.append(sample.address)
+                    seen.add(sample.address)
                     continue
-                new_parameters.extend(self._create_layers(address, sample.distribution))
+                new_parameters.extend(self._create_layers(sample.address, sample.distribution))
+            known_types.add(trace_type)
         return new_parameters
 
     def _create_layers(self, address: str, prior: Distribution) -> List[Tuple[str, Parameter]]:
+        self._seen_addresses.add(address)
         before = {name for name, _ in self.named_parameters()}
         self.address_embeddings[address] = AddressEmbedding(self.address_dim, rng=self._rng)
         self.sample_embeddings[address] = SampleEmbedding(
@@ -175,19 +206,7 @@ class InferenceNetwork(Module):
 
     # ------------------------------------------------------------- observations
     def _observation_array(self, trace: Trace) -> np.ndarray:
-        observation = trace.observation
-        if isinstance(observation, dict):
-            if self.observe_key is not None:
-                observation = observation[self.observe_key]
-            elif len(observation) == 1:
-                observation = next(iter(observation.values()))
-            else:
-                raise ValueError(
-                    "trace has multiple observes; construct the InferenceNetwork with observe_key"
-                )
-        # Scalar observations become length-1 vectors so that batching over
-        # traces always yields a (batch, ...) array.
-        return np.atleast_1d(np.asarray(observation, dtype=float))
+        return observation_array(trace, self.observe_key)
 
     # ------------------------------------------------------------------- loss
     def loss(self, traces: Sequence[Trace]) -> Tensor:
@@ -195,7 +214,11 @@ class InferenceNetwork(Module):
 
         The minibatch is partitioned into sub-minibatches of identical trace
         type so that each sub-minibatch can be pushed through the LSTM in one
-        batched forward execution.
+        batched forward execution.  With :attr:`vectorized_loss` (the
+        default) each group is packed into array form first
+        (:func:`repro.data.packing.pack_sub_minibatch`) and scored through
+        the per-step vectorised path; offline training avoids even the
+        packing cost by feeding cached packs to :meth:`loss_packed`.
         """
         if len(traces) == 0:
             raise ValueError("loss needs at least one trace")
@@ -203,20 +226,91 @@ class InferenceNetwork(Module):
         for trace in traces:
             groups[trace.trace_type].append(trace)
         self._last_sub_minibatches = 0
+        if self.vectorized_loss:
+            from repro.data.packing import pack_sub_minibatch
+
+            group_losses = [
+                self._sub_minibatch_loss_packed(pack_sub_minibatch(group, self.observe_key))
+                for group in groups.values()
+            ]
+        else:
+            group_losses = [self._sub_minibatch_loss(group) for group in groups.values()]
         total: Optional[Tensor] = None
-        for group in groups.values():
-            group_loss = self._sub_minibatch_loss(group)
+        for group_loss in group_losses:
             total = group_loss if total is None else total + group_loss
         assert total is not None
         return total * (1.0 / len(traces))
 
+    def loss_packed(self, packs: Sequence["PackedSubMinibatch"]) -> Tensor:
+        """The minibatch loss over pre-built packs (one per trace-type group).
+
+        Numerically identical to ``loss(sum of packed traces)`` — the packs
+        carry precomputed array inputs, not different math — and it honours
+        :attr:`vectorized_loss`: with the flag off, each pack's retained
+        traces are scored through the per-object reference path, so the two
+        paths stay comparable under the same minibatch schedule.
+        """
+        packs = list(packs)
+        if len(packs) == 0:
+            raise ValueError("loss_packed needs at least one pack")
+        self._last_sub_minibatches = 0
+        num_traces = 0
+        total: Optional[Tensor] = None
+        for pack in packs:
+            num_traces += pack.batch_size
+            if self.vectorized_loss:
+                group_loss = self._sub_minibatch_loss_packed(pack)
+            else:
+                group_loss = self._sub_minibatch_loss(pack.traces)
+            total = group_loss if total is None else total + group_loss
+        assert total is not None
+        return total * (1.0 / num_traces)
+
     @property
     def last_num_sub_minibatches(self) -> int:
-        return getattr(self, "_last_sub_minibatches", 0)
+        return self._last_sub_minibatches
+
+    def _sub_minibatch_loss_packed(self, pack: "PackedSubMinibatch") -> Tensor:
+        """Negative log q over one packed group, in per-step array ops.
+
+        Step for step the same computation graph as
+        :meth:`_sub_minibatch_loss` — observation embedding, address
+        embedding, LSTM step, proposal log-density, previous-sample embedding
+        — but every numpy input (stacked observations, value columns, prior
+        geometry, sample encodings) comes precomputed from the pack instead
+        of being re-derived from per-trace objects.  Discarded addresses
+        (frozen network) skip the step and zero the previous-sample
+        embedding, exactly as the reference and the inference sessions do.
+        """
+        self._last_sub_minibatches += 1
+        batch = pack.batch_size
+        obs_embed = self.observation_embedding(Tensor(pack.observations))
+        state = self.lstm.initial_state(batch)
+        prev_embed = Tensor(np.zeros((batch, self.sample_dim)))
+        neg_log_q: Optional[Tensor] = None
+        for step in pack.steps:
+            if step.address not in self.proposal_layers:
+                prev_embed = Tensor(np.zeros((batch, self.sample_dim)))
+                continue
+            addr_embed = self.address_embeddings[step.address](batch)
+            lstm_input = Tensor.cat([obs_embed, addr_embed, prev_embed], axis=1)
+            hidden, state = self.lstm.step(lstm_input, state)
+            log_q = self.proposal_layers[step.address].log_prob_packed(hidden, step)
+            neg_log_q = (-log_q) if neg_log_q is None else neg_log_q - log_q
+            prev_embed = self.sample_embeddings[step.address](Tensor(step.encoded_values))
+        if neg_log_q is None:
+            neg_log_q = Tensor(np.zeros(()))
+        return neg_log_q
 
     def _sub_minibatch_loss(self, traces: Sequence[Trace]) -> Tensor:
-        """Negative log q summed over a group of same-trace-type traces."""
-        self._last_sub_minibatches = getattr(self, "_last_sub_minibatches", 0) + 1
+        """Negative log q summed over a group of same-trace-type traces.
+
+        The per-object reference path (``vectorized_loss=False``): scores
+        values against per-trace prior objects and re-derives every array per
+        call.  Kept as the bit-identity and benchmark reference for
+        :meth:`_sub_minibatch_loss_packed`.
+        """
+        self._last_sub_minibatches += 1
         batch = len(traces)
         observations = np.stack([self._observation_array(t) for t in traces], axis=0)
         obs_embed = self.observation_embedding(Tensor(observations))

@@ -28,9 +28,13 @@ Each proposal layer offers two views of the same parameterisation:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (packing imports us)
+    from repro.data.packing import PackedStep
 
 from repro.distributions import (
     BatchedCategorical,
@@ -48,9 +52,100 @@ from repro.tensor import functional as F
 from repro.tensor.nn import Linear, Module, ReLU, Sequential
 from repro.tensor.tensor import Tensor
 
-__all__ = ["ProposalLayer", "ProposalNormalMixture", "ProposalCategorical", "make_proposal_layer"]
+__all__ = [
+    "PriorGeometry",
+    "ProposalLayer",
+    "ProposalNormalMixture",
+    "ProposalCategorical",
+    "make_proposal_layer",
+    "prior_geometry",
+]
 
 _MIN_SCALE = 1e-3
+
+
+@dataclass(frozen=True, eq=False)
+class PriorGeometry:
+    """Per-row prior geometry of a same-address group, as ``(B,)`` arrays.
+
+    Everything :class:`ProposalNormalMixture` needs to know about the B priors
+    at one address: support bounds (``-inf``/``+inf`` on unbounded rows), the
+    location/scale used to rescale the NN's normalised outputs, and the
+    bounded flags.  Extracting it is the only per-prior Python loop in the
+    continuous training loss, so the packed-minibatch pipeline precomputes it
+    once per (dataset, step) and reuses it every iteration.
+
+    The derived columns/flags the differentiable density consumes are cached
+    **lazily**: the inference emission path also routes through a geometry
+    (via ``_transformed_parameters``) but never reads them, and it must not
+    pay training-only allocations per proposal step.  A pack's geometry
+    builds each once and keeps it for every epoch.
+    """
+
+    lows: np.ndarray
+    highs: np.ndarray
+    locs: np.ndarray
+    scales: np.ndarray
+    bounded: np.ndarray
+
+    def _cached(self, name: str, build):
+        if name not in self.__dict__:
+            object.__setattr__(self, name, build())
+        return self.__dict__[name]
+
+    @property
+    def locs_column(self) -> np.ndarray:
+        return self._cached("_locs_column", lambda: self.locs.reshape(-1, 1))
+
+    @property
+    def scales_column(self) -> np.ndarray:
+        return self._cached("_scales_column", lambda: self.scales.reshape(-1, 1))
+
+    @property
+    def finite_lows_column(self) -> np.ndarray:
+        return self._cached(
+            "_finite_lows_column",
+            lambda: np.where(np.isfinite(self.lows), self.lows, 0.0).reshape(-1, 1),
+        )
+
+    @property
+    def finite_highs_column(self) -> np.ndarray:
+        return self._cached(
+            "_finite_highs_column",
+            lambda: np.where(np.isfinite(self.highs), self.highs, 0.0).reshape(-1, 1),
+        )
+
+    @property
+    def bounded_mask_column(self) -> np.ndarray:
+        return self._cached(
+            "_bounded_mask_column", lambda: self.bounded.astype(float).reshape(-1, 1)
+        )
+
+    @property
+    def any_bounded(self) -> bool:
+        return self._cached("_any_bounded", lambda: bool(np.any(self.bounded)))
+
+    @property
+    def all_bounded(self) -> bool:
+        return self._cached("_all_bounded", lambda: bool(np.all(self.bounded)))
+
+
+def prior_geometry(priors: Sequence[Distribution]) -> PriorGeometry:
+    """Extract :class:`PriorGeometry` arrays from per-trace prior objects."""
+    batch = len(priors)
+    lows = np.empty(batch)
+    highs = np.empty(batch)
+    locs = np.empty(batch)
+    scales = np.empty(batch)
+    bounded = np.zeros(batch, dtype=bool)
+    for i, prior in enumerate(priors):
+        low, high, loc, scale = ProposalNormalMixture._prior_bounds(prior)
+        bounded[i] = low is not None
+        lows[i] = low if low is not None else -np.inf
+        highs[i] = high if high is not None else np.inf
+        locs[i] = loc
+        scales[i] = max(scale, _MIN_SCALE)
+    return PriorGeometry(lows=lows, highs=highs, locs=locs, scales=scales, bounded=bounded)
 
 
 class ProposalLayer(Module):
@@ -59,6 +154,21 @@ class ProposalLayer(Module):
     def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
         """Differentiable log q(values | hidden) summed over the batch."""
         raise NotImplementedError
+
+    def log_prob_packed(self, hidden: Tensor, step: "PackedStep") -> Tensor:
+        """Differentiable log q for one packed training step.
+
+        The vectorised training loss hands the layer a
+        :class:`repro.data.packing.PackedStep` whose value/prior arrays were
+        precomputed at pack-build time.  The built-in layers override this to
+        skip every per-trace Python loop; this base implementation falls back
+        to :meth:`log_prob` on the step's retained per-trace objects, so
+        custom layers keep working (and so do packs whose prior family does
+        not match the layer).  Overrides must evaluate the same floating-point
+        expression as :meth:`log_prob` — the ``vectorized_loss=False``
+        reference path and its equivalence tests rely on it.
+        """
+        return self.log_prob(hidden, step.values, step.priors)
 
     def proposal_distribution(self, hidden: Tensor, prior: Distribution) -> Distribution:
         """A concrete (numpy) proposal distribution for one execution."""
@@ -128,43 +238,52 @@ class ProposalNormalMixture(ProposalLayer):
 
     def _transformed_parameters(self, hidden: Tensor, priors: Sequence[Distribution]):
         """Map raw NN outputs to per-batch-element (means, scales, log_weights)."""
+        return self._transformed_from_geometry(hidden, prior_geometry(priors))
+
+    def _transformed_from_geometry(self, hidden: Tensor, geometry: PriorGeometry):
+        """The array core of :meth:`_transformed_parameters` (no prior objects)."""
         raw_means, raw_scales, logits = self._raw_parameters(hidden)
-        batch = hidden.shape[0]
-        lows = np.empty(batch)
-        highs = np.empty(batch)
-        locs = np.empty(batch)
-        scales = np.empty(batch)
-        bounded = np.zeros(batch, dtype=bool)
-        for i, prior in enumerate(priors):
-            low, high, loc, scale = self._prior_bounds(prior)
-            bounded[i] = low is not None
-            lows[i] = low if low is not None else -np.inf
-            highs[i] = high if high is not None else np.inf
-            locs[i] = loc
-            scales[i] = max(scale, _MIN_SCALE)
-        loc_t = Tensor(locs.reshape(-1, 1))
-        scale_t = Tensor(scales.reshape(-1, 1))
+        loc_t = Tensor(geometry.locs_column)
+        scale_t = Tensor(geometry.scales_column)
         means = loc_t + raw_means.tanh() * scale_t            # keep means near the prior region
         comp_scales = F.softplus(raw_scales) * scale_t + _MIN_SCALE
         log_weights = F.log_softmax(logits, axis=-1)
-        return means, comp_scales, log_weights, lows, highs, bounded
+        return means, comp_scales, log_weights, geometry.lows, geometry.highs, geometry.bounded
 
     # ----------------------------------------------------------------- training
     def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
         values_arr = np.asarray(values, dtype=float).reshape(-1, 1)   # (B, 1)
-        means, scales, log_weights, lows, highs, bounded = self._transformed_parameters(hidden, priors)
+        return self._log_prob_from_geometry(hidden, values_arr, prior_geometry(priors))
+
+    def log_prob_packed(self, hidden: Tensor, step: "PackedStep") -> Tensor:
+        geometry = step.geometry
+        if geometry is None:
+            # Prior family did not match this layer at pack time: score
+            # through the per-object reference path.
+            return self.log_prob(hidden, step.values, step.priors)
+        return self._log_prob_from_geometry(hidden, step.values_column, geometry)
+
+    def _log_prob_from_geometry(
+        self, hidden: Tensor, values_column: np.ndarray, geometry: PriorGeometry
+    ) -> Tensor:
+        """Shared differentiable density: the per-object ``log_prob`` and the
+        packed path both evaluate exactly this expression, which is what makes
+        them bit-identical in loss and gradients."""
+        means, scales, log_weights, _, _, _ = self._transformed_from_geometry(hidden, geometry)
         # Component log-density at the recorded values.
-        log_pdf = F.normal_log_pdf(values_arr, means, scales)          # (B, K)
-        if np.any(bounded):
+        log_pdf = F.normal_log_pdf(values_column, means, scales)       # (B, K)
+        if geometry.any_bounded:
             # Truncation: subtract log(Phi(beta) - Phi(alpha)) per component.
-            low_t = Tensor(np.where(np.isfinite(lows), lows, 0.0).reshape(-1, 1))
-            high_t = Tensor(np.where(np.isfinite(highs), highs, 0.0).reshape(-1, 1))
-            alpha = (low_t - means) / scales
-            beta = (high_t - means) / scales
+            alpha = (Tensor(geometry.finite_lows_column) - means) / scales
+            beta = (Tensor(geometry.finite_highs_column) - means) / scales
             z = F.normal_cdf(beta) - F.normal_cdf(alpha)
             z = z.clamp(min_value=1e-8)
-            bounded_mask = Tensor(bounded.astype(float).reshape(-1, 1))
-            log_pdf = log_pdf - z.log() * bounded_mask
+            if geometry.all_bounded:
+                # x * 1.0 is bitwise x: skipping the all-ones mask keeps the
+                # value (and gradient) identical while dropping two graph nodes.
+                log_pdf = log_pdf - z.log()
+            else:
+                log_pdf = log_pdf - z.log() * Tensor(geometry.bounded_mask_column)
         mixture_log_prob = F.logsumexp(log_weights + log_pdf, axis=-1)  # (B,)
         return mixture_log_prob.sum()
 
@@ -227,9 +346,17 @@ class ProposalCategorical(ProposalLayer):
         )
 
     def log_prob(self, hidden: Tensor, values, priors: Sequence[Distribution]) -> Tensor:
+        indices = np.asarray(values, dtype=np.int64).reshape(-1)
+        return self._log_prob_indices(hidden, indices)
+
+    def log_prob_packed(self, hidden: Tensor, step: "PackedStep") -> Tensor:
+        if step.indices is None:
+            return self.log_prob(hidden, step.values, step.priors)
+        return self._log_prob_indices(hidden, step.indices)
+
+    def _log_prob_indices(self, hidden: Tensor, indices: np.ndarray) -> Tensor:
         logits = self.network(hidden)
         log_probs = F.log_softmax(logits, axis=-1)
-        indices = np.asarray(values, dtype=np.int64).reshape(-1)
         picked = F.gather(log_probs, indices, axis=-1)
         return picked.sum()
 

@@ -26,6 +26,7 @@ class Trace:
         self.result: Any = None                   # simulator return value
         self.observation: Any = None              # the y fed to inference (e.g. 3D voxels)
         self._address_counts: Dict[str, int] = {}
+        self._trace_type: Optional[str] = None
 
     # ------------------------------------------------------------------ build
     def add_sample(self, sample: Sample) -> None:
@@ -36,6 +37,7 @@ class Trace:
             sample.instance = count
             self._address_counts[sample.address] = count + 1
             self.samples.append(sample)
+            self._trace_type = None
 
     def freeze(self, result: Any = None, observation: Any = None) -> "Trace":
         self.result = result
@@ -64,10 +66,17 @@ class Trace:
         Traces of the same type share the same sequence of addresses and
         therefore the same dynamic NN structure; minibatches are subdivided
         into same-type sub-minibatches before the forward pass (Algorithm 1).
-        """
-        from repro.trace.trace_type import trace_type_id
 
-        return trace_type_id(self.addresses)
+        The id is hashed once and cached: training touches it for every trace
+        of every minibatch (grouping, sorted scheduling, polymorph fast-path),
+        and the address sequence is immutable once the trace is built.
+        """
+        # getattr: traces unpickled from older payloads predate the cache slot
+        if getattr(self, "_trace_type", None) is None:
+            from repro.trace.trace_type import trace_type_id
+
+            self._trace_type = trace_type_id(self.addresses)
+        return self._trace_type
 
     @property
     def log_prior(self) -> float:

@@ -348,3 +348,126 @@ class TestChoiceKernels:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValueError):
             BatchedCategorical([[0.5, 0.5]], choice_kernel="magic")
+
+
+class TestRowGatheredNdtriSampling:
+    """Regression guard for the row-batched truncated-normal inversion.
+
+    ``sample_rows`` inverts every bounded row's quantile through one clipped
+    ``ndtri`` call over row-gathered arrays (the ROADMAP leftover).  The
+    contract is the per-row kernel's: identical outputs AND identical
+    generator states afterwards, for any mix of bounded/unbounded rows.
+    """
+
+    @staticmethod
+    def _mixed_batch(choice_kernel=None):
+        rng = np.random.default_rng(11)
+        batch, components = 12, 4
+        locs = rng.normal(size=(batch, components))
+        scales = np.abs(rng.normal(size=(batch, components))) + 0.1
+        weights = np.abs(rng.normal(size=(batch, components))) + 0.05
+        lows = locs.min(axis=1) - 0.5
+        highs = locs.max(axis=1) + 0.5
+        bounded = (np.arange(batch) % 3) != 0  # interleaved bounded/unbounded
+        return BatchedMixtureOfTruncatedNormals(
+            locs, scales, weights, lows, highs, bounded=bounded, choice_kernel=choice_kernel
+        )
+
+    @pytest.mark.parametrize("choice_kernel", ["inverse_cdf", "percall"])
+    def test_bulk_outputs_and_rng_states_match_per_row_kernel(self, choice_kernel):
+        batch = self._mixed_batch(choice_kernel)
+        size = batch.batch_size
+        bulk_rngs = [RandomState(500 + i) for i in range(size)]
+        row_rngs = [RandomState(500 + i) for i in range(size)]
+        bulk = batch.sample_rows(bulk_rngs)
+        per_row = np.array([batch.row(i).sample(row_rngs[i]) for i in range(size)])
+        assert np.array_equal(bulk, per_row)
+        # Generator state must be untouched by the batching: the next draw of
+        # every stream agrees bit for bit with the per-row kernel's.
+        for bulk_rng, row_rng in zip(bulk_rngs, row_rngs):
+            assert bulk_rng.generator.bit_generator.state == row_rng.generator.bit_generator.state
+            assert bulk_rng.random() == row_rng.random()
+
+    def test_all_bounded_and_all_unbounded_batches(self):
+        rng = np.random.default_rng(12)
+        locs = rng.normal(size=(5, 3))
+        scales = np.abs(rng.normal(size=(5, 3))) + 0.2
+        weights = np.ones((5, 3))
+        for bounded in (np.ones(5, dtype=bool), np.zeros(5, dtype=bool)):
+            batch = BatchedMixtureOfTruncatedNormals(
+                locs, scales, weights, locs.min(axis=1) - 1, locs.max(axis=1) + 1, bounded=bounded
+            )
+            bulk = batch.sample_rows([RandomState(40 + i) for i in range(5)])
+            per_row = np.array([batch.row(i).sample(RandomState(40 + i)) for i in range(5)])
+            assert np.array_equal(bulk, per_row)
+
+
+class TestFromDistributions:
+    """`from_distributions` packs per-trace objects into (B, K) arrays."""
+
+    def test_mixture_roundtrip_is_bit_identical(self, mixture_case):
+        mixture_batch, _ = mixture_case
+        rows = [mixture_batch.row_distribution(i) for i in range(mixture_batch.batch_size)]
+        packed = BatchedMixtureOfTruncatedNormals.from_distributions(rows)
+        assert packed.batch_size == mixture_batch.batch_size
+        assert np.array_equal(packed.bounded, mixture_batch.bounded)
+        for index in range(packed.batch_size):
+            assert float(packed.row(index).sample(RandomState(index))) == float(
+                rows[index].sample(RandomState(index))
+            )
+            value = float(np.clip(0.3, packed.lows[index], packed.highs[index]))
+            assert np.array_equal(packed.row(index).log_prob(value), rows[index].log_prob(value))
+
+    def test_bare_normals_and_truncated_normals_pack_as_k1(self):
+        from repro.distributions import TruncatedNormal
+
+        packed = BatchedMixtureOfTruncatedNormals.from_distributions(
+            [Normal(0.0, 1.0), TruncatedNormal(0.5, 2.0, -1.0, 1.0)]
+        )
+        assert packed.num_components == 1
+        assert list(packed.bounded) == [False, True]
+
+    def test_normal_and_categorical_packing(self):
+        normals = [Normal(0.1, 1.0), Normal(-2.0, 0.5)]
+        packed_normal = BatchedNormal.from_distributions(normals)
+        for i, reference in enumerate(normals):
+            assert float(packed_normal.row(i).sample(RandomState(i))) == float(
+                reference.sample(RandomState(i))
+            )
+        categoricals = [Categorical([0.2, 0.8]), Categorical([0.7, 0.3])]
+        packed_cat = BatchedCategorical.from_distributions(categoricals)
+        assert np.array_equal(packed_cat.probs, np.stack([c.probs for c in categoricals]))
+
+    def test_invalid_inputs_rejected(self):
+        from repro.distributions import TruncatedNormal
+
+        with pytest.raises(ValueError):
+            BatchedCategorical.from_distributions([Categorical([0.5, 0.5]), Categorical([1, 1, 1])])
+        with pytest.raises(ValueError):
+            BatchedCategorical.from_distributions([Normal(0, 1)])
+        with pytest.raises(ValueError):
+            BatchedNormal.from_distributions([Categorical([0.5, 0.5])])
+        with pytest.raises(ValueError):
+            # vector parameters must fail loudly as ValueError, not TypeError
+            BatchedNormal.from_distributions([Normal(0.0, np.array([1.0, 2.0]))])
+        with pytest.raises(ValueError):
+            BatchedMixtureOfTruncatedNormals.from_distributions(
+                [Normal(np.array([0.0, 1.0]), np.array([1.0, 2.0]))]
+            )
+        with pytest.raises(ValueError):
+            BatchedMixtureOfTruncatedNormals.from_distributions([Categorical([0.5, 0.5])])
+        with pytest.raises(ValueError):
+            # rows must share a component count
+            BatchedMixtureOfTruncatedNormals.from_distributions(
+                [Normal(0.0, 1.0), Mixture([Normal(0, 1), Normal(1, 1)], [0.5, 0.5])]
+            )
+        with pytest.raises(ValueError):
+            # truncated components of one row must share their interval
+            BatchedMixtureOfTruncatedNormals.from_distributions(
+                [
+                    Mixture(
+                        [TruncatedNormal(0, 1, -1, 1), TruncatedNormal(0, 1, -2, 2)],
+                        [0.5, 0.5],
+                    )
+                ]
+            )
