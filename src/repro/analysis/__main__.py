@@ -1,0 +1,119 @@
+"""CLI: ``python -m repro.analysis [paths] [--output text|json] [--baseline F]``.
+
+Exit status is the CI contract: 0 when every finding is covered by the
+baseline (or there are none), 1 when new findings exist, 2 on usage errors.
+``--output json`` emits the stable schema for artifact upload; stale
+baseline entries are reported on stderr either way so the baseline file
+shrinks as debt is paid down, but they never fail the gate on their own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import diff_against_baseline, load_baseline, save_baseline
+from repro.analysis.checkers import all_checkers
+from repro.analysis.core import run_analysis
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for checker in all_checkers():
+        lines.append(f"{checker.name}:")
+        for rule, description in sorted(checker.rules.items()):
+            lines.append(f"  {rule:28s} {description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter: RNG discipline, lock discipline, "
+        "batched shape contracts, pickle safety.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
+    parser.add_argument("--output", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument("--report", default=None, help="also write the JSON report to this path")
+    parser.add_argument("--list-rules", action="store_true", help="list every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        findings = run_analysis(args.paths, all_checkers())
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}", file=sys.stderr)
+        return 0
+
+    baseline = None
+    if not args.no_baseline and (args.baseline is not None or os.path.exists(baseline_path)):
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+
+    if baseline is not None:
+        new, stale = diff_against_baseline(findings, baseline)
+    else:
+        new, stale = list(findings), []
+
+    report = {
+        "findings": [finding.to_dict() for finding in findings],
+        "new": [finding.to_dict() for finding in new],
+        "baseline": baseline_path if baseline is not None else None,
+        "stale_baseline_entries": [
+            {"file": file, "rule": rule, "message": message} for file, rule, message in stale
+        ],
+    }
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    if args.output == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        covered = len(findings) - len(new)
+        summary = f"{len(new)} new finding(s), {covered} covered by baseline"
+        print(summary, file=sys.stderr)
+
+    for file, rule, message in stale:
+        print(
+            f"stale baseline entry (no longer found): {file}: {rule}: {message}",
+            file=sys.stderr,
+        )
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Committed baseline: the reviewed debt the gate tolerates, and nothing else.
+
+A finding's baseline identity is ``(file, rule, message)`` — deliberately
+*not* the line number, so unrelated edits that shift code never invalidate
+the baseline, while any change to what the finding says (a new attribute, a
+different lock set) correctly shows up as new.  Identities are counted with
+multiplicity: two identical findings in one file need two baseline entries.
+
+``diff_against_baseline`` splits a run into *new* findings (fail the gate)
+and *stale* baseline entries (fixed debt that should be removed from the
+file — reported so the baseline shrinks monotonically instead of fossilising).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "save_baseline", "diff_against_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """Baseline file -> multiset of finding identities."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a baseline file (missing 'findings')")
+    keys: Counter = Counter()
+    for entry in payload["findings"]:
+        keys[(entry["file"], entry["rule"], entry["message"])] += 1
+    return keys
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[_Key]]:
+    """(new findings not covered by the baseline, stale baseline entries)."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    stale: List[_Key] = []
+    for key, count in sorted(remaining.items()):
+        stale.extend([key] * count)
+    return new, stale

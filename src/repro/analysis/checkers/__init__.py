@@ -1,0 +1,29 @@
+"""Checker registry: every invariant family the linter enforces."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Checker
+from repro.analysis.checkers.rng import RngDisciplineChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.shapes import ShapeContractChecker
+from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+
+__all__ = [
+    "all_checkers",
+    "RngDisciplineChecker",
+    "LockDisciplineChecker",
+    "ShapeContractChecker",
+    "PickleSafetyChecker",
+]
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker (they carry run state)."""
+    return [
+        RngDisciplineChecker(),
+        LockDisciplineChecker(),
+        ShapeContractChecker(),
+        PickleSafetyChecker(),
+    ]

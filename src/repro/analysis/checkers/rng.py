@@ -1,0 +1,203 @@
+"""RNG discipline: every stochastic draw must flow through ``repro.common.rng``.
+
+The reproduction's end-to-end determinism (seeded posteriors bit-identical
+across engines, backends and cohort packings) rests on one rule: randomness
+is derived from :class:`repro.common.rng.RandomState` streams, and child
+streams are *mixed* (``spawn`` with tuple entropy keys), never constructed
+ad hoc.  PR 3's seed-collision bug — ``base + index`` keying silently giving
+concurrent requests identical trace streams — is the class of failure these
+rules catch at lint time:
+
+* ``rng-module-call`` — ``np.random.rand()`` et al. mutate numpy's hidden
+  process-global stream, invisible to ``seed_all``/``temporary_seed``.
+* ``rng-direct-construction`` — ``np.random.default_rng(...)`` /
+  ``SeedSequence(...)`` outside ``repro/common/rng.py`` bypasses the one
+  sanctioned derivation point (and is where additive-seed collisions breed).
+* ``rng-construction-in-loop`` — a ``RandomState(...)`` built per loop
+  iteration in engine/serving/training code is almost always a hand-rolled
+  stream derivation; use ``spawn`` with a mixed key instead.
+* ``rng-stdlib-random`` — stdlib ``random`` is a second hidden global stream.
+* ``rng-time-entropy`` — wall-clock-seeded streams are unreproducible by
+  construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Checker, FileContext, ImportResolver
+from repro.analysis.findings import Finding
+
+__all__ = ["RngDisciplineChecker"]
+
+#: the sanctioned home of raw generator construction
+ALLOWED_FILE = "repro/common/rng.py"
+
+#: generator/seed constructors (flagged as construction, not as stateful calls)
+_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+#: the repo's own stream type (loop-construction rule only — building one at
+#: module/function scope from an explicit seed is the sanctioned pattern)
+_REPRO_RANDOM_STATE = "repro.common.rng.RandomState"
+
+#: wall-clock sources that must never feed a seed
+_TIME_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+#: call targets whose arguments are seed entropy
+_SEEDING_TARGETS = {
+    "repro.common.rng.RandomState",
+    "repro.common.rng.seed_all",
+    "repro.common.rng.temporary_seed",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "numpy.random.seed",
+}
+
+#: directories whose modules are hot paths for the in-loop construction rule
+HOT_PATH_FRAGMENTS = (
+    "repro/ppl/",
+    "repro/serving/",
+    "repro/distributed/",
+    "repro/data/",
+    "repro/tensor/",
+)
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class _RngVisitor(ast.NodeVisitor):
+    def __init__(self, context: FileContext, resolver: ImportResolver) -> None:
+        self.context = context
+        self.resolver = resolver
+        self.findings: List[Finding] = []
+        self._loop_depth = 0
+        self._in_sanctioned_file = context.in_scope(ALLOWED_FILE)
+        self._hot_path = context.in_scope(*HOT_PATH_FRAGMENTS)
+
+    def _emit(self, node: ast.AST, rule: str, message: str, severity: str = "error") -> None:
+        self.findings.append(
+            Finding(self.context.path, getattr(node, "lineno", 1), rule, severity, message)
+        )
+
+    # ---------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._emit(
+                    node,
+                    "rng-stdlib-random",
+                    "stdlib `random` is a hidden process-global stream invisible to "
+                    "seed_all/temporary_seed; draw through repro.common.rng instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and not node.level:
+            self._emit(
+                node,
+                "rng-stdlib-random",
+                "stdlib `random` is a hidden process-global stream invisible to "
+                "seed_all/temporary_seed; draw through repro.common.rng instead",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ loops
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, _LOOP_NODES):
+            self._loop_depth += 1
+            super().generic_visit(node)
+            self._loop_depth -= 1
+        else:
+            super().generic_visit(node)
+
+    # ------------------------------------------------------------------ calls
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.resolver.dotted_name(node.func)
+        if dotted is not None:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _SEEDING_TARGETS or dotted.endswith((".reseed", ".spawn")):
+            self._check_time_entropy(node, dotted)
+        if self._in_sanctioned_file:
+            return
+        if dotted in _CONSTRUCTORS:
+            self._emit(
+                node,
+                "rng-direct-construction",
+                f"`{dotted}` constructed outside repro/common/rng.py; derive streams "
+                "via repro.common.rng.RandomState / .spawn (mixed entropy keys) so "
+                "they stay reproducible and collision-free",
+            )
+            return
+        if dotted.startswith("numpy.random."):
+            member = dotted[len("numpy.random."):]
+            if "." not in member:
+                self._emit(
+                    node,
+                    "rng-module-call",
+                    f"`{dotted}` draws from numpy's hidden process-global stream; "
+                    "use a repro.common.rng.RandomState stream instead",
+                )
+                return
+        if (
+            self._hot_path
+            and self._loop_depth > 0
+            and dotted == _REPRO_RANDOM_STATE
+        ):
+            self._emit(
+                node,
+                "rng-construction-in-loop",
+                "RandomState constructed inside a loop in a hot-path module; "
+                "derive per-iteration streams with rng.spawn((base, index)) "
+                "so keys are mixed, not re-seeded ad hoc",
+            )
+
+    def _check_time_entropy(self, node: ast.Call, dotted: str) -> None:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    source = self.resolver.dotted_name(sub.func)
+                    if source in _TIME_SOURCES:
+                        self._emit(
+                            sub,
+                            "rng-time-entropy",
+                            f"`{source}()` used as seed entropy for `{dotted}`; "
+                            "wall-clock seeds are unreproducible — derive from a "
+                            "seeded RandomState instead",
+                        )
+
+
+class RngDisciplineChecker(Checker):
+    name = "rng-discipline"
+    rules = {
+        "rng-module-call": "np.random.* stateful module-level call outside repro/common/rng.py",
+        "rng-direct-construction": "generator/seed constructed outside repro/common/rng.py",
+        "rng-construction-in-loop": "RandomState constructed inside a loop in a hot-path module",
+        "rng-stdlib-random": "stdlib `random` imported (second hidden global stream)",
+        "rng-time-entropy": "wall-clock time used as seed entropy",
+    }
+
+    def check(self, context: FileContext) -> List[Finding]:
+        visitor = _RngVisitor(context, ImportResolver(context.tree))
+        visitor.visit(context.tree)
+        return visitor.findings

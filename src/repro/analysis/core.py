@@ -1,0 +1,149 @@
+"""Shared visitor core of the invariant linter.
+
+The framework is deliberately small: a :class:`Checker` receives one parsed
+:class:`FileContext` at a time and returns :class:`Finding` objects; the
+:func:`run_analysis` driver owns file discovery, parsing, suppression
+filtering and ordering.  Checkers that need *cross-file* state (the lock
+checker's lock-order graph spans classes defined in different modules)
+implement :meth:`Checker.finalize`, which runs once after every file has been
+visited.
+
+:class:`ImportResolver` is the one piece of shared semantic machinery: it
+maps AST name/attribute chains back to the dotted module path they were
+imported from (``np.random.default_rng`` -> ``numpy.random.default_rng``,
+``from repro.common.rng import RandomState`` -> ``repro.common.rng.RandomState``),
+so checkers match *what a name means*, not what it is spelled as.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+
+__all__ = ["Checker", "FileContext", "ImportResolver", "discover_files", "run_analysis"]
+
+
+class FileContext:
+    """One parsed source file, shared by every checker."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        #: normalised path with forward slashes, for portable scope matching
+        self.norm_path = path.replace(os.sep, "/")
+
+    def in_scope(self, *fragments: str) -> bool:
+        """True if the file path contains any of the given fragments."""
+        return any(fragment in self.norm_path for fragment in fragments)
+
+
+class ImportResolver(ast.NodeVisitor):
+    """Resolve local names to the dotted import paths they are bound to."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports: out of scope for the repo's style
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The fully-resolved dotted path of a Name/Attribute chain, if any."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Checker:
+    """Base class of one invariant checker (a family of related rules)."""
+
+    #: checker name, used in ``--list-rules`` grouping
+    name: str = "checker"
+    #: rule id -> one-line description (the ``--list-rules`` output)
+    rules: Dict[str, str] = {}
+
+    def relevant(self, path: str) -> bool:
+        """Whether this checker wants to visit ``path`` at all."""
+        return path.endswith(".py")
+
+    def check(self, context: FileContext) -> List[Finding]:
+        """Per-file pass; return this file's findings."""
+        raise NotImplementedError
+
+    def finalize(self) -> List[Finding]:
+        """Cross-file pass, run once after every file was visited."""
+        return []
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if not d.startswith(".") and d != "__pycache__")
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(dict.fromkeys(found))
+
+
+def run_analysis(paths: Sequence[str], checkers: Iterable[Checker]) -> List[Finding]:
+    """Run every checker over every discovered file; return ordered findings.
+
+    Unreadable or syntactically invalid files surface as ``syntax-error``
+    findings rather than crashing the run — a file the linter cannot parse
+    cannot be certified either.  Suppression comments are applied here, so
+    individual checkers never need to think about them.
+    """
+    checkers = list(checkers)
+    findings: List[Finding] = []
+    for path in discover_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            findings.append(
+                Finding(path, int(line), "syntax-error", "error", f"cannot analyse file: {error}")
+            )
+            continue
+        context = FileContext(path, source, tree)
+        for checker in checkers:
+            if not checker.relevant(path):
+                continue
+            for finding in checker.check(context):
+                if not is_suppressed(context.suppressions, finding.line, finding.rule):
+                    findings.append(finding)
+    for checker in checkers:
+        findings.extend(checker.finalize())
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+    return findings

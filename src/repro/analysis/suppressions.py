@@ -1,0 +1,52 @@
+"""Per-line suppression comments: ``# repro-lint: disable=<rule>[,<rule>...]``.
+
+The escape hatch for findings that are *intentional* and local: put the
+comment on the offending line (or on its own line directly above) and the
+named rules are suppressed there.  ``disable=all`` suppresses every rule.
+Suppressions are deliberately line-scoped — for whole-subsystem exceptions
+use the committed baseline instead, which is reviewable as one artifact.
+
+Comments are read with :mod:`tokenize`, so a ``# repro-lint:`` inside a
+string literal never counts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["parse_suppressions", "is_suppressed", "SUPPRESS_ALL"]
+
+SUPPRESS_ALL = "all"
+
+_COMMENT_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map of line number -> rule ids suppressed by a comment on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _COMMENT_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {rule.strip() for rule in match.group(1).split(",") if rule.strip()}
+            if rules:
+                suppressions.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenizeError:
+        pass  # an unparsable file is reported as a syntax-error finding instead
+    return suppressions
+
+
+def is_suppressed(suppressions: Dict[int, Set[str]], line: int, rule: str) -> bool:
+    """True if ``rule`` is suppressed at ``line`` (same line or the line above)."""
+    for candidate in (line, line - 1):
+        rules = suppressions.get(candidate)
+        if rules and (rule in rules or SUPPRESS_ALL in rules):
+            return True
+    return False

@@ -102,8 +102,10 @@ class DistributedTraceSampler:
     def __iter__(self) -> Iterator[List[int]]:
         order = np.arange(len(self._rank_chunks))
         if self.shuffle:
-            rng = np.random.default_rng(self.seed + self.epoch)
-            rng.shuffle(order)
+            # (seed, epoch) mixed as separate entropy words — additive keying
+            # (seed + epoch) collides across (seed=4, epoch=1)/(seed=5, epoch=0).
+            rng = RandomState(self.seed).spawn(self.epoch)
+            rng.generator.shuffle(order)
         for position in order:
             yield list(self._rank_chunks[position])
 

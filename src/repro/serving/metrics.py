@@ -147,5 +147,5 @@ class ServingMetrics:
                 snapshot["mean_cohort_occupancy"] = 0.0
                 snapshot["mean_cohort_size"] = 0.0
                 snapshot["mixed_cohort_fraction"] = 0.0
-        snapshot["scheduler_phase_totals_s"] = self.phases.total_by_phase()
+            snapshot["scheduler_phase_totals_s"] = self.phases.total_by_phase()
         return snapshot

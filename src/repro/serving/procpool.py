@@ -181,9 +181,13 @@ class ProcessCohortPool:
         self._closing = False
         self._stop_collector = threading.Event()
         self._slots = threading.BoundedSemaphore(max(1, self.max_inflight))
-        self._retiring = []
         self._result_queue = self._ctx.Queue()
-        self._workers = [self._spawn_worker(index) for index in range(self.num_workers)]
+        with self._lock:
+            # A collector from a previous stop() that outlived its join
+            # timeout may still touch _workers/_retiring; swap them under
+            # the same lock every other writer uses.
+            self._retiring = []
+            self._workers = [self._spawn_worker(index) for index in range(self.num_workers)]
         self._collector = threading.Thread(
             target=self._collect, name="procpool-collector", daemon=True
         )

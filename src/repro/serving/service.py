@@ -547,9 +547,11 @@ class PosteriorService:
         failure path can leave a stale ``_inflight_keys`` entry that would
         feed its old error to every later coalesced query.
         """
-        self._inflight.pop(request.request_id, None)
         key = getattr(request, "cache_key", None)
         with self._admission_lock:
+            # _inflight is written under the admission lock on admit; popping
+            # outside it here raced a concurrent admit's dict resize.
+            self._inflight.pop(request.request_id, None)
             if key is not None and self._inflight_keys.get(key) is request:
                 del self._inflight_keys[key]
 

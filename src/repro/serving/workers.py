@@ -58,6 +58,10 @@ class CohortWorkerPool:
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max(1, capacity))
         self._threads: List[threading.Thread] = []
         self._started = False
+        # Counters are bumped from every worker thread concurrently; a bare
+        # `+= 1` is a read-modify-write that loses updates under the GIL's
+        # bytecode-level interleaving.
+        self._stats_lock = threading.Lock()
         self.cohorts_executed = 0
         self.failed_cohorts = 0
         self.cancelled_cohorts = 0
@@ -117,7 +121,8 @@ class CohortWorkerPool:
             if item is _SENTINEL:
                 continue
             entries, callback = item
-            self.cancelled_cohorts += 1
+            with self._stats_lock:
+                self.cancelled_cohorts += 1
             try:
                 callback(entries, None, ServingError("worker pool stopped"))
             except Exception:
@@ -137,18 +142,21 @@ class CohortWorkerPool:
             try:
                 traces = self._run_cohort([entry.job for entry in entries])
             except BaseException as error:  # noqa: BLE001 - delivered to requests
-                self.failed_cohorts += 1
+                with self._stats_lock:
+                    self.failed_cohorts += 1
                 callback(entries, None, error)
             else:
-                self.cohorts_executed += 1
+                with self._stats_lock:
+                    self.cohorts_executed += 1
                 callback(entries, traces, None)
 
     # --------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:
-        return {
-            "backend": self.backend,
-            "num_workers": self.num_workers,
-            "cohorts_executed": self.cohorts_executed,
-            "failed_cohorts": self.failed_cohorts,
-            "cancelled_cohorts": self.cancelled_cohorts,
-        }
+        with self._stats_lock:
+            return {
+                "backend": self.backend,
+                "num_workers": self.num_workers,
+                "cohorts_executed": self.cohorts_executed,
+                "failed_cohorts": self.failed_cohorts,
+                "cancelled_cohorts": self.cancelled_cohorts,
+            }

@@ -1,0 +1,685 @@
+"""Tests for repro.analysis: one positive and one negative case per rule,
+suppressions, the baseline round-trip, the stable JSON schema, and the CLI
+gate over the real tree."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    SCHEMA_KEYS,
+    all_checkers,
+    diff_against_baseline,
+    load_baseline,
+    run_analysis,
+    save_baseline,
+)
+from repro.analysis.suppressions import is_suppressed, parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint(tmp_path, rel_path, source):
+    """Write ``source`` at ``rel_path`` under tmp_path and lint the tree."""
+    path = tmp_path / rel_path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_analysis([str(tmp_path)], all_checkers())
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# --------------------------------------------------------------------------- rng
+class TestRngDiscipline:
+    def test_module_call_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+        )
+        assert "rng-module-call" in rules_of(findings)
+
+    def test_sanctioned_file_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/common/rng.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            gen = np.random.default_rng(0)
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_direct_construction_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/data/mod.py",
+            """
+            import numpy as np
+            gen = np.random.default_rng(1234)
+            """,
+        )
+        assert "rng-direct-construction" in rules_of(findings)
+
+    def test_repro_random_state_at_module_scope_allowed(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/data/mod.py",
+            """
+            from repro.common.rng import RandomState
+            rng = RandomState(7)
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_construction_in_loop_flagged_in_hot_path(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            from repro.common.rng import RandomState
+            def per_item(n):
+                return [RandomState(i) for i in range(n)]
+            """,
+        )
+        assert "rng-construction-in-loop" in rules_of(findings)
+
+    def test_construction_in_loop_ignored_off_hot_path(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/utils/mod.py",
+            """
+            from repro.common.rng import RandomState
+            def per_item(n):
+                return [RandomState(i) for i in range(n)]
+            """,
+        )
+        assert "rng-construction-in-loop" not in rules_of(findings)
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        findings = lint(tmp_path, "repro/ppl/mod.py", "import random\n")
+        assert "rng-stdlib-random" in rules_of(findings)
+
+    def test_numpy_import_not_confused_with_stdlib_random(self, tmp_path):
+        findings = lint(tmp_path, "repro/ppl/mod.py", "import numpy.random\n")
+        assert "rng-stdlib-random" not in rules_of(findings)
+
+    def test_time_entropy_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import time
+            from repro.common.rng import RandomState
+            rng = RandomState(int(time.time()))
+            """,
+        )
+        assert "rng-time-entropy" in rules_of(findings)
+
+    def test_constant_seed_has_no_time_entropy(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            from repro.common.rng import RandomState
+            rng = RandomState(42)
+            """,
+        )
+        assert "rng-time-entropy" not in rules_of(findings)
+
+
+# ------------------------------------------------------------------------- locks
+class TestLockDiscipline:
+    def test_unlocked_write_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def locked(self):
+                    with self._lock:
+                        self.count += 1
+                def unlocked(self):
+                    self.count += 1
+            """,
+        )
+        assert "lock-unlocked-write" in rules_of(findings)
+
+    def test_consistently_locked_writes_pass(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def locked(self):
+                    with self._lock:
+                        self.count += 1
+                def also_locked(self):
+                    with self._lock:
+                        self.count = 0
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_private_helper_inherits_callers_lock(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def public(self):
+                    with self._lock:
+                        self._bump()
+                def other(self):
+                    with self._lock:
+                        self.count = 0
+                def _bump(self):
+                    self.count += 1
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_mutating_container_call_counts_as_write(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def locked(self, item):
+                    with self._lock:
+                        self.items.append(item)
+                def unlocked(self):
+                    self.items.clear()
+            """,
+        )
+        assert "lock-unlocked-write" in rules_of(findings)
+
+    def test_order_inversion_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pair:
+                def __init__(self):
+                    self._one = threading.Lock()
+                    self._two = threading.Lock()
+                def forward(self):
+                    with self._one:
+                        with self._two:
+                            pass
+                def backward(self):
+                    with self._two:
+                        with self._one:
+                            pass
+            """,
+        )
+        assert "lock-order-inversion" in rules_of(findings)
+
+    def test_consistent_order_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pair:
+                def __init__(self):
+                    self._one = threading.Lock()
+                    self._two = threading.Lock()
+                def forward(self):
+                    with self._one:
+                        with self._two:
+                            pass
+                def also_forward(self):
+                    with self._one:
+                        with self._two:
+                            pass
+            """,
+        )
+        assert "lock-order-inversion" not in rules_of(findings)
+
+    def test_blocking_call_under_lock_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            import time
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def bad(self):
+                    with self._lock:
+                        time.sleep(1.0)
+            """,
+        )
+        assert "lock-blocking-call" in rules_of(findings)
+
+    def test_condition_wait_on_held_lock_allowed(self, tmp_path):
+        # Condition(self._lock) aliases the lock it wraps; waiting on the held
+        # condition releases it, so it is not a blocking call under the lock.
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._idle = threading.Condition(self._lock)
+                def drain(self):
+                    with self._idle:
+                        self._idle.wait(timeout=1.0)
+            """,
+        )
+        assert "lock-blocking-call" not in rules_of(findings)
+
+
+# ------------------------------------------------------------------------ shapes
+class TestShapeContracts:
+    def test_extra_required_param_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/distributions/mod.py",
+            """
+            class BatchedThing:
+                def sample_rows(self, rngs, extra):
+                    return None
+            """,
+        )
+        assert "shape-impl-signature" in rules_of(findings)
+
+    def test_contract_signature_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/distributions/mod.py",
+            """
+            class BatchedThing:
+                def sample_rows(self, rngs=None):
+                    return None
+                def log_prob_rows(self, values):
+                    return None
+            """,
+        )
+        assert "shape-impl-signature" not in rules_of(findings)
+
+    def test_missing_abstract_method_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/distributions/mod.py",
+            """
+            class BatchedDistribution:
+                pass
+            class BatchedHalf(BatchedDistribution):
+                def sample_rows(self, rngs=None):
+                    return None
+            """,
+        )
+        assert "shape-impl-missing" in rules_of(findings)
+
+    def test_complete_subclass_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/distributions/mod.py",
+            """
+            class BatchedDistribution:
+                pass
+            class BatchedFull(BatchedDistribution):
+                def sample_rows(self, rngs=None):
+                    return None
+                def log_prob_rows(self, values):
+                    return None
+                def row_distribution(self, index):
+                    return None
+            """,
+        )
+        assert "shape-impl-missing" not in rules_of(findings)
+
+    def test_callsite_missing_required_arg_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            def score(batched):
+                return batched.log_prob_rows()
+            """,
+        )
+        assert "shape-callsite-arity" in rules_of(findings)
+
+    def test_callsite_matching_contract_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            def score(batched, values, rngs):
+                batched.sample_rows(rngs)
+                return batched.log_prob_rows(values)
+            """,
+        )
+        assert "shape-callsite-arity" not in rules_of(findings)
+
+    def test_callsite_unknown_keyword_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            def draw(batched):
+                return batched.sample_rows(generator=None)
+            """,
+        )
+        assert "shape-callsite-arity" in rules_of(findings)
+
+
+# ----------------------------------------------------------------------- pickle
+class TestPickleSafety:
+    def test_lambda_payload_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            def dispatch():
+                return pickle.dumps(lambda x: x)
+            """,
+        )
+        assert "pickle-lambda" in rules_of(findings)
+
+    def test_plain_data_payload_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            def dispatch(payload):
+                return pickle.dumps([payload, 1, 2])
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_generator_into_mp_queue_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import multiprocessing
+            def dispatch(task_queue, items):
+                task_queue.put((item for item in items))
+            """,
+        )
+        assert "pickle-generator" in rules_of(findings)
+
+    def test_thread_queue_put_is_not_a_pickle_boundary(self, tmp_path):
+        # Without multiprocessing in the module, queue.Queue.put stays in
+        # process and may carry anything.
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import queue
+            def dispatch(task_queue, items):
+                task_queue.put(lambda: items)
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_local_function_payload_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            def dispatch():
+                def inner():
+                    return 1
+                return pickle.dumps(inner)
+            """,
+        )
+        assert "pickle-local-function" in rules_of(findings)
+
+    def test_open_handle_payload_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            def dispatch(path):
+                handle = open(path)
+                return pickle.dumps(handle)
+            """,
+        )
+        assert "pickle-open-handle" in rules_of(findings)
+
+    def test_read_content_not_handle_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            def dispatch(path):
+                data = open(path).read()
+                return pickle.dumps(data)
+            """,
+        )
+        assert "pickle-open-handle" not in rules_of(findings)
+
+    def test_captured_lock_attribute_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/mod.py",
+            """
+            import pickle
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def dispatch(self):
+                    return pickle.dumps(self._lock)
+            """,
+        )
+        assert "pickle-lock" in rules_of(findings)
+
+
+# ----------------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_same_line_disable(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=rng-module-call
+            """,
+        )
+        assert "rng-module-call" not in rules_of(findings)
+
+    def test_line_above_disable(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import numpy as np
+            # repro-lint: disable=rng-module-call
+            x = np.random.rand(3)
+            """,
+        )
+        assert "rng-module-call" not in rules_of(findings)
+
+    def test_disable_all(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=all
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_unrelated_rule_stays(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/mod.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=rng-stdlib-random
+            """,
+        )
+        assert "rng-module-call" in rules_of(findings)
+
+    def test_comment_inside_string_is_inert(self):
+        suppressions = parse_suppressions(
+            'text = "# repro-lint: disable=rng-module-call"\n'
+        )
+        assert suppressions == {}
+
+    def test_is_suppressed_window(self):
+        suppressions = {10: {"rng-module-call"}}
+        assert is_suppressed(suppressions, 10, "rng-module-call")
+        assert is_suppressed(suppressions, 11, "rng-module-call")
+        assert not is_suppressed(suppressions, 12, "rng-module-call")
+
+
+# --------------------------------------------------------------------- baseline
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding("src/a.py", 3, "rng-module-call", "error", "msg one"),
+            Finding("src/a.py", 9, "rng-module-call", "error", "msg one"),
+            Finding("src/b.py", 5, "lock-unlocked-write", "error", "msg two"),
+        ]
+
+    def test_round_trip_is_clean(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = self._findings()
+        save_baseline(str(path), findings)
+        new, stale = diff_against_baseline(findings, load_baseline(str(path)))
+        assert new == []
+        assert stale == []
+
+    def test_line_shift_stays_covered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), self._findings())
+        shifted = [
+            Finding(f.file, f.line + 40, f.rule, f.severity, f.message)
+            for f in self._findings()
+        ]
+        new, stale = diff_against_baseline(shifted, load_baseline(str(path)))
+        assert new == []
+        assert stale == []
+
+    def test_new_finding_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), self._findings())
+        extra = Finding("src/c.py", 1, "pickle-lambda", "error", "fresh")
+        new, _ = diff_against_baseline(self._findings() + [extra], load_baseline(str(path)))
+        assert new == [extra]
+
+    def test_multiplicity_counts(self, tmp_path):
+        # Two identical findings need two baseline entries; dropping one
+        # baseline entry exposes the extra occurrence as new.
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), self._findings()[:1])
+        new, _ = diff_against_baseline(self._findings()[:2], load_baseline(str(path)))
+        assert len(new) == 1
+
+    def test_fixed_finding_reported_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), self._findings())
+        new, stale = diff_against_baseline(self._findings()[:2], load_baseline(str(path)))
+        assert new == []
+        assert stale == [("src/b.py", "lock-unlocked-write", "msg two")]
+
+
+# ----------------------------------------------------------------- JSON schema
+class TestSchema:
+    def test_to_dict_is_exactly_the_stable_schema(self):
+        finding = Finding("src/a.py", 3, "rng-module-call", "error", "msg")
+        payload = finding.to_dict()
+        assert tuple(payload.keys()) == SCHEMA_KEYS == (
+            "file", "line", "rule", "severity", "message",
+        )
+        assert Finding.from_dict(payload) == finding
+
+    def test_rule_names_are_unique_across_checkers(self):
+        seen = {}
+        for checker in all_checkers():
+            for rule in checker.rules:
+                assert rule not in seen, f"{rule} claimed by {seen.get(rule)} and {checker.name}"
+                seen[rule] = checker.name
+
+
+# ------------------------------------------------------------------------- CLI
+class TestCommandLine:
+    def _run(self, *args, cwd=None):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or str(REPO_ROOT),
+            env=env,
+        )
+
+    def test_repo_tree_is_clean_against_committed_baseline(self):
+        result = self._run("src")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_seeded_violation_fails_naming_the_rule(self, tmp_path):
+        bad = tmp_path / "repro" / "ppl" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        result = self._run(str(tmp_path), "--no-baseline")
+        assert result.returncode == 1
+        assert "rng-module-call" in result.stdout
+
+    def test_json_output_carries_the_schema(self, tmp_path):
+        bad = tmp_path / "repro" / "ppl" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        result = self._run(str(tmp_path), "--no-baseline", "--output", "json")
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        assert report["new"], report
+        assert tuple(report["new"][0].keys()) == ("file", "line", "rule", "severity", "message")
+
+    def test_list_rules_covers_every_checker(self):
+        result = self._run("--list-rules")
+        assert result.returncode == 0
+        for checker in all_checkers():
+            assert checker.name in result.stdout
+            for rule in checker.rules:
+                assert rule in result.stdout
+
+    def test_syntax_error_fails_the_gate(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = self._run(str(tmp_path), "--no-baseline")
+        assert result.returncode == 1
+        assert "syntax-error" in result.stdout

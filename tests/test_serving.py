@@ -552,3 +552,69 @@ class TestStaleWhileRevalidate:
             # All four stale serves triggered at most one refresh.
             assert service.metrics.revalidations == 1
             assert service.metrics.stale_served == 4
+
+
+class TestWorkerPoolCounters:
+    """Pool counters are bumped from every worker thread; they must be exact.
+
+    A bare ``+= 1`` is a read-modify-write the GIL interleaves at bytecode
+    granularity, so concurrent workers silently lose increments.
+    """
+
+    def test_cohorts_executed_is_exact_under_concurrency(self):
+        from repro.serving import CohortWorkerPool
+
+        total = 400
+
+        def run_cohort(jobs):
+            return list(jobs)
+
+        class Entry:
+            job = object()
+
+        done = threading.Event()
+        remaining = [total]
+        count_lock = threading.Lock()
+
+        def on_done(entries, traces, error):
+            with count_lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+
+        with CohortWorkerPool(run_cohort, num_workers=8, queue_capacity=16) as pool:
+            for _ in range(total):
+                pool.submit([Entry()], on_done)
+            assert done.wait(timeout=30)
+        stats = pool.stats()
+        assert stats["cohorts_executed"] == total
+        assert stats["failed_cohorts"] == 0
+
+    def test_failed_cohorts_counted_exactly(self):
+        from repro.serving import CohortWorkerPool
+
+        total = 100
+
+        def run_cohort(jobs):
+            raise RuntimeError("boom")
+
+        class Entry:
+            job = object()
+
+        done = threading.Event()
+        remaining = [total]
+        count_lock = threading.Lock()
+
+        def on_done(entries, traces, error):
+            with count_lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+
+        with CohortWorkerPool(run_cohort, num_workers=8, queue_capacity=16) as pool:
+            for _ in range(total):
+                pool.submit([Entry()], on_done)
+            assert done.wait(timeout=30)
+        stats = pool.stats()
+        assert stats["failed_cohorts"] == total
+        assert stats["cohorts_executed"] == 0
