@@ -9,6 +9,9 @@ from repro.analysis.checkers.rng import RngDisciplineChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.shapes import ShapeContractChecker
 from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+from repro.analysis.checkers.rng_ownership import RngOwnershipChecker
+from repro.analysis.checkers.futures import FutureResolutionChecker
+from repro.analysis.checkers.determinism import DeterministicIterationChecker
 
 __all__ = [
     "all_checkers",
@@ -16,6 +19,9 @@ __all__ = [
     "LockDisciplineChecker",
     "ShapeContractChecker",
     "PickleSafetyChecker",
+    "RngOwnershipChecker",
+    "FutureResolutionChecker",
+    "DeterministicIterationChecker",
 ]
 
 
@@ -26,4 +32,7 @@ def all_checkers() -> List[Checker]:
         LockDisciplineChecker(),
         ShapeContractChecker(),
         PickleSafetyChecker(),
+        RngOwnershipChecker(),
+        FutureResolutionChecker(),
+        DeterministicIterationChecker(),
     ]

@@ -1,0 +1,419 @@
+"""Future resolution: every created Future reaches resolution on every path.
+
+PR 4's serving audit found the deadlock class this checker mechanises: a
+``Future`` is created and admitted (stored in an in-flight map, returned to a
+caller), then some path — an early return, an exception branch, a
+``shutdown(drain=...)`` leg — exits without ``set_result``/``set_exception``,
+and a client blocks forever on ``result()``.
+
+The analysis is a per-function structured walk with a tiny status lattice
+per created future — UNRESOLVED, MAYBE (resolved on some paths), DONE — plus
+an *escaped* bit.  Joins happen at ``if``/``else`` merge points, ``try``
+handlers join against both the body entry and its end (the body may fail at
+any point), and loop bodies join with the zero-iteration path.  A future
+that *escapes* — returned, stored on ``self``/a container, captured by a
+nested function, or passed to code the analysis cannot see — transfers
+responsibility and is never reported (false negatives over false positives).
+
+The interprocedural part: passing a future to a *known* function consults
+that function's parameter-resolution summary (computed with the same walk,
+iterated so helper-of-helper chains settle), so ``self._finish(fut)`` in
+another module counts as resolution exactly when ``_finish`` resolves its
+parameter on every path.
+
+``raise`` exits are deliberately ignored: a local future that was never
+handed out cannot strand a waiter when the creator itself unwinds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import Checker, FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.summaries import display_name
+
+__all__ = ["FutureResolutionChecker"]
+
+#: constructors that create a future this checker owns
+_FUTURE_TYPES = {
+    "concurrent.futures.Future",
+    "concurrent.futures._base.Future",
+    "asyncio.Future",
+}
+
+#: receiver methods that resolve a future
+_RESOLVERS = {"set_result", "set_exception", "cancel"}
+
+UNRES, MAYBE, DONE = 0, 1, 2
+
+
+class _VarState:
+    __slots__ = ("status", "escaped", "line")
+
+    def __init__(self, status: int = UNRES, escaped: bool = False, line: int = 0) -> None:
+        self.status = status
+        self.escaped = escaped
+        self.line = line
+
+    def copy(self) -> "_VarState":
+        return _VarState(self.status, self.escaped, self.line)
+
+
+Env = Dict[str, _VarState]
+
+
+def _copy_env(env: Env) -> Env:
+    return {name: state.copy() for name, state in env.items()}
+
+
+def _join_status(a: int, b: int) -> int:
+    return a if a == b else MAYBE
+
+
+def _join_env(into: Env, other: Env) -> None:
+    for name, state in into.items():
+        that = other.get(name)
+        if that is None:
+            continue
+        state.status = _join_status(state.status, that.status)
+        state.escaped = state.escaped or that.escaped
+
+
+class _Walk:
+    """One structured pass over a function body, tracking future states."""
+
+    def __init__(
+        self,
+        project,
+        resolver,
+        targets_by_node: Dict[int, List[str]],
+        param_table: Dict[str, Dict[str, Tuple[int, bool]]],
+        track_creations: bool,
+    ) -> None:
+        self.project = project
+        self.resolver = resolver
+        self.targets_by_node = targets_by_node
+        self.param_table = param_table
+        self.track_creations = track_creations
+        self.exit_envs: List[Env] = []
+        #: creation line -> (worst status seen at an exit, witness exit line)
+        self.leaks: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------ entry point
+    def run(self, node, tracked_params: List[str]) -> None:
+        env: Env = {name: _VarState() for name in tracked_params}
+        if self.block(node.body, env):
+            last = node.body[-1] if node.body else node
+            self.exit(env, getattr(last, "end_lineno", getattr(last, "lineno", 0)))
+
+    def exit(self, env: Env, line: int) -> None:
+        self.exit_envs.append(_copy_env(env))
+        for state in env.values():
+            if state.line and not state.escaped and state.status != DONE:
+                worst, _ = self.leaks.get(state.line, (DONE, 0))
+                if state.status < worst:
+                    self.leaks[state.line] = (state.status, line)
+
+    # ------------------------------------------------------------- statements
+    def block(self, stmts, env: Env) -> bool:
+        for stmt in stmts:
+            if not self.stmt(stmt, env):
+                return False
+        return True
+
+    def stmt(self, node, env: Env) -> bool:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            self._capture_scan(node, env)
+            return True
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            return self._assign(node, env)
+        if isinstance(node, ast.AugAssign):
+            self.expr(node.value, env)
+            return True
+        if isinstance(node, ast.Expr):
+            self.expr(node.value, env)
+            return True
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                if isinstance(node.value, ast.Name) and node.value.id in env:
+                    env[node.value.id].escaped = True
+                else:
+                    self.expr(node.value, env)
+            self.exit(env, node.lineno)
+            return False
+        if isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.expr(node.exc, env)
+            return False  # unwinding creator cannot strand a waiter
+        if isinstance(node, ast.If):
+            self.expr(node.test, env)
+            then_env, else_env = _copy_env(env), _copy_env(env)
+            then_cont = self.block(node.body, then_env)
+            else_cont = self.block(node.orelse, else_env)
+            if then_cont and else_cont:
+                _join_env(then_env, else_env)
+                self._replace(env, then_env)
+            elif then_cont:
+                self._replace(env, then_env)
+            elif else_cont:
+                self._replace(env, else_env)
+            else:
+                return False
+            return True
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.expr(node.iter, env)
+            body_env = _copy_env(env)
+            if self.block(node.body, body_env):
+                _join_env(env, body_env)  # zero-or-more iterations
+            if node.orelse:
+                return self.block(node.orelse, env)
+            return True
+        if isinstance(node, ast.While):
+            self.expr(node.test, env)
+            body_env = _copy_env(env)
+            if self.block(node.body, body_env):
+                _join_env(env, body_env)
+            if node.orelse:
+                return self.block(node.orelse, env)
+            return True
+        if isinstance(node, ast.Try):
+            body_env = _copy_env(env)
+            body_cont = self.block(node.body, body_env)
+            if body_cont and node.orelse:
+                body_cont = self.block(node.orelse, body_env)
+            continuing: List[Env] = []
+            for handler in node.handlers:
+                # the body may fail at any point: the handler joins the state
+                # before the body with the state after it
+                handler_env = _copy_env(env)
+                _join_env(handler_env, body_env)
+                if self.block(handler.body, handler_env):
+                    continuing.append(handler_env)
+            if body_cont:
+                continuing.append(body_env)
+            if continuing:
+                merged = continuing[0]
+                for other in continuing[1:]:
+                    _join_env(merged, other)
+                self._replace(env, merged)
+            if node.finalbody:
+                if not self.block(node.finalbody, env):
+                    return False
+            return bool(continuing)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.expr(item.context_expr, env)
+            return self.block(node.body, env)
+        if isinstance(node, (ast.Break, ast.Continue, ast.Pass, ast.Global, ast.Nonlocal)):
+            return True  # break/continue approximated as fallthrough (join-safe)
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            return True
+        if isinstance(node, (ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child, env)
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, env)
+        return True
+
+    def _assign(self, node, env: Env) -> bool:
+        value = node.value
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if value is None:
+            return True
+        if self._is_future_ctor(value):
+            name_targets = [t for t in targets if isinstance(t, ast.Name)]
+            if name_targets and self.track_creations and len(name_targets) == len(targets):
+                env[name_targets[0].id] = _VarState(UNRES, False, node.lineno)
+            # self.attr = Future(): ownership moves to the object; out of scope
+            return True
+        self.expr(value, env)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env.pop(target.id, None)  # rebinding ends tracking
+            else:
+                self.expr(target, env)
+        return True
+
+    def _replace(self, env: Env, new: Env) -> None:
+        for name, state in env.items():
+            that = new.get(name)
+            if that is not None:
+                state.status = that.status
+                state.escaped = that.escaped
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, node, env: Env) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, env)
+            return
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id in env:
+                return  # attribute read on the future itself: benign
+            self.expr(node.value, env)
+            return
+        if isinstance(node, ast.Name):
+            state = env.get(node.id)
+            if state is not None:
+                state.escaped = True  # stored/compared/yielded: handed off
+            return
+        if isinstance(node, (ast.Lambda, ast.GeneratorExp)):
+            self._capture_scan(node, env)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, env)
+
+    def _call(self, node: ast.Call, env: Env) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in env
+        ):
+            if func.attr in _RESOLVERS:
+                env[func.value.id].status = DONE
+            # fut.done()/fut.result()/... are benign receiver uses either way
+            for value in list(node.args) + [kw.value for kw in node.keywords]:
+                self.expr(value, env)
+            return
+        targets = self.targets_by_node.get(id(node), [])
+        slots: List[Tuple[object, ast.expr]] = list(enumerate(node.args))
+        slots += [(kw.arg, kw.value) for kw in node.keywords if kw.arg is not None]
+        for slot, value in slots:
+            if isinstance(value, ast.Name) and value.id in env:
+                self._arg_effect(env[value.id], targets, slot)
+            else:
+                self.expr(value, env)
+        if isinstance(func, ast.Attribute):
+            self.expr(func.value, env)
+
+    def _arg_effect(self, state: _VarState, targets: List[str], slot: object) -> None:
+        statuses: List[Tuple[int, bool]] = []
+        for target in targets:
+            decl = self.project.functions.get(target)
+            if decl is None:
+                continue
+            params = decl.params
+            offset = 1 if decl.cls is not None else 0
+            if isinstance(slot, int):
+                index = slot + offset
+                name: Optional[str] = params[index] if index < len(params) else None
+            else:
+                name = slot if slot in params else None
+            if name is None:
+                continue
+            entry = self.param_table.get(target, {}).get(name)
+            if entry is not None:
+                statuses.append(entry)
+        if not statuses:
+            state.escaped = True  # handed to code the analysis cannot see
+            return
+        if all(status == DONE for status, _ in statuses):
+            state.status = max(state.status, DONE)
+        elif any(status >= MAYBE for status, _ in statuses):
+            state.status = max(state.status, MAYBE)
+        if any(escaped for _, escaped in statuses):
+            state.escaped = True
+
+    def _capture_scan(self, node, env: Env) -> None:
+        """A nested def/lambda capturing a tracked future takes ownership."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in env:
+                env[sub.id].escaped = True
+
+    def _is_future_ctor(self, value) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = self.resolver.dotted_name(value.func)
+        if dotted is None:
+            return False
+        return self.project.canonicalize(dotted) in _FUTURE_TYPES
+
+
+class FutureResolutionChecker(Checker):
+    name = "future-resolution"
+    rules = {
+        "future-unresolved": "a created Future can reach an exit without set_result/set_exception",
+    }
+
+    def __init__(self) -> None:
+        self._project = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+
+    def check(self, context: FileContext) -> List[Finding]:
+        return []
+
+    def finalize(self) -> List[Finding]:
+        if self._project is None:
+            return []
+        project = self._project
+        summaries = project.summaries()
+        graph = project.graph()
+
+        def targets_for(qual: str) -> Dict[int, List[str]]:
+            summary = summaries[qual]
+            return {
+                id(site.node): targets
+                for site, targets in zip(summary.calls, graph.targets[qual])
+            }
+
+        def resolver_for(qual: str):
+            return project.modules[summaries[qual].decl.module].context.resolver
+
+        # Parameter-resolution summaries, iterated so helper chains settle.
+        table: Dict[str, Dict[str, Tuple[int, bool]]] = {}
+        for _ in range(3):
+            next_table: Dict[str, Dict[str, Tuple[int, bool]]] = {}
+            for qual, summary in summaries.items():
+                decl = summary.decl
+                params = [p for p in decl.params if p != "self"]
+                if not params:
+                    next_table[qual] = {}
+                    continue
+                walk = _Walk(project, resolver_for(qual), targets_for(qual), table, False)
+                walk.run(decl.node, params)
+                entry: Dict[str, Tuple[int, bool]] = {}
+                for param in params:
+                    statuses = [env[param].status for env in walk.exit_envs if param in env]
+                    escaped = any(env[param].escaped for env in walk.exit_envs if param in env)
+                    if statuses:
+                        combined = statuses[0]
+                        for status in statuses[1:]:
+                            combined = _join_status(combined, status)
+                    else:
+                        combined = UNRES
+                    entry[param] = (combined, escaped)
+                next_table[qual] = entry
+            if next_table == table:
+                break
+            table = next_table
+
+        findings: List[Finding] = []
+        for qual, summary in sorted(summaries.items()):
+            decl = summary.decl
+            walk = _Walk(project, resolver_for(qual), targets_for(qual), table, True)
+            walk.run(decl.node, [])
+            for line, (status, exit_line) in sorted(walk.leaks.items()):
+                path_word = "some paths" if status == MAYBE else "every path"
+                findings.append(
+                    Finding(
+                        summary.path,
+                        line,
+                        "future-unresolved",
+                        "error",
+                        f"Future created in {display_name(project, qual)} can reach the "
+                        f"exit at line {exit_line} unresolved on {path_word}; every "
+                        "future must reach set_result/set_exception (or be handed off) "
+                        "on all paths, including exception and shutdown legs",
+                    )
+                )
+        return findings

@@ -1,340 +1,48 @@
-"""Lock discipline: a lightweight static race detector for the serving tier.
+"""Lock discipline: a summary-based static race detector for the whole tree.
 
-The serving subsystem (PR 2/PR 4) is a web of worker threads, a scheduler
-thread, a collector thread and client threads, all touching per-object state
-guarded by ``with self._lock:`` scopes.  Every bug class this checker models
-was hand-audited in those PRs; the checker re-runs the audit mechanically:
+The serving subsystem is a web of worker threads, a scheduler thread, a
+collector thread and client threads, all touching per-object state guarded by
+``with self._lock:`` scopes — and since PR 4 those scopes cross module
+boundaries (service -> scheduler -> worker pool).  This checker runs entirely
+on the whole-program engine (:mod:`repro.analysis.summaries` +
+:mod:`repro.analysis.fixpoint`): per-function summaries record what each
+function acquires, writes and calls; the fixpoint propagates held-lock sets
+across the call graph, including through callback registrations like
+``MicroBatchScheduler(dispatch=self._dispatch_cohort)``.
 
 * ``lock-unlocked-write`` — a mutable ``self._x`` attribute written *inside*
   a lock scope somewhere and *outside* any lock scope somewhere else is a
-  lost-update / torn-state candidate (the "metrics counter incremented off
-  the lock" class).
+  lost-update / torn-state candidate.  "Inside" includes locks held on entry:
+  a private helper called only with the lock held counts as locked, whichever
+  module the call comes from.
 * ``lock-order-inversion`` — two locks acquired in opposite orders on two
-  paths (including cross-class paths like service -> scheduler) deadlock
-  under contention.
-* ``lock-blocking-call`` — a blocking call (``Queue.get``, ``Future.result``,
-  ``sleep``, ``join``, foreign ``wait``) made while holding a lock turns one
-  slow consumer into a system-wide stall.
+  paths deadlock under contention.  Edges come from lexical nesting *and*
+  from call sites: holding lock A while calling (transitively) into anything
+  that acquires lock B adds an A -> B edge, across any number of modules.
+* ``lock-blocking-call`` — a blocking primitive (``Queue.get``,
+  ``Future.result``, ``sleep``, ``join``, foreign ``wait``) reached while a
+  lock is held turns one slow consumer into a system-wide stall.  Reported at
+  the blocking call when the function itself holds (or inherits) the lock,
+  and at the *call site* when a lock holder calls into a function that may
+  block (with the witness chain in the message).
 
-Scope model: locks are per-class ``self.<attr>`` bindings of
-``threading.Lock/RLock/Condition`` (a ``Condition(self.other)`` aliases the
-lock it wraps, so ``with self._idle:`` counts as holding ``self._lock``).
-Private helper methods called *only* from inside lock scopes inherit those
-locks — ``_pick_worker`` style helpers don't need suppressions.  Writes in
-``__init__``/``__getstate__``-like methods are construction, not contention,
-and are ignored; nested functions and lambdas run on unknown threads later,
-so they inherit nothing.
+Writes in ``__init__``/``__getstate__``-like methods are construction, not
+contention, and are ignored; nested functions and lambdas run on unknown
+threads later, so they inherit nothing.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.analysis.core import Checker, FileContext, ImportResolver
+from repro.analysis.core import Checker, FileContext
 from repro.analysis.findings import Finding
-from repro.analysis.suppressions import is_suppressed
+from repro.analysis.summaries import display_name, short_lock
 
 __all__ = ["LockDisciplineChecker"]
 
-#: threading primitives that guard a ``with`` scope
-_LOCK_TYPES = {"threading.Lock", "threading.RLock", "threading.Condition"}
-
 #: methods whose writes are construction/serialisation, not shared-state races
 _INIT_LIKE = {"__init__", "__new__", "__getstate__", "__setstate__", "__reduce__", "__copy__", "__deepcopy__"}
-
-#: container methods that mutate their receiver
-_MUTATORS = {
-    "append", "extend", "insert", "remove", "pop", "popitem", "clear", "update",
-    "setdefault", "add", "discard", "appendleft", "extendleft", "popleft",
-    "move_to_end", "set",
-}
-
-
-def _self_attr(node: ast.AST) -> Optional[str]:
-    """``self.attr`` (optionally through subscripts) -> ``attr``."""
-    while isinstance(node, ast.Subscript):
-        node = node.value
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def _receiver_text(node: ast.AST) -> str:
-    """Best-effort dotted text of a call receiver, for name-based heuristics."""
-    parts: List[str] = []
-    while True:
-        if isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        elif isinstance(node, ast.Subscript):
-            node = node.value
-        elif isinstance(node, ast.Name):
-            parts.append(node.id)
-            break
-        else:
-            break
-    return ".".join(reversed(parts))
-
-
-@dataclass
-class _Write:
-    attr: str
-    method: str
-    line: int
-    held: FrozenSet[str]
-    nested: bool
-
-
-@dataclass
-class _CallSite:
-    callee: str          # same-class private method name
-    caller: str
-    line: int
-    held: FrozenSet[str]
-    nested: bool
-
-
-@dataclass
-class _Acquisition:
-    lock: str            # canonical lock attr acquired
-    held: FrozenSet[str]  # locks already held at that point
-    method: str
-    line: int
-
-
-@dataclass
-class _AttrCall:
-    """A ``self.<attr>.<method>()`` call — the cross-class edge material."""
-
-    attr: str
-    method: str
-    line: int
-    held: FrozenSet[str]
-    caller: str
-    nested: bool
-
-
-@dataclass
-class _ClassInfo:
-    name: str
-    file: str
-    lock_attrs: Set[str] = field(default_factory=set)
-    aliases: Dict[str, str] = field(default_factory=dict)  # condition attr -> wrapped lock
-    writes: List[_Write] = field(default_factory=list)
-    call_sites: List[_CallSite] = field(default_factory=list)
-    acquisitions: List[_Acquisition] = field(default_factory=list)
-    attr_calls: List[_AttrCall] = field(default_factory=list)
-    attr_types: Dict[str, Set[str]] = field(default_factory=dict)  # self.attr -> class names
-    method_names: Set[str] = field(default_factory=set)
-
-    def canonical(self, attr: str) -> str:
-        return self.aliases.get(attr, attr)
-
-    def inherited_locks(self) -> Dict[str, FrozenSet[str]]:
-        """Locks guaranteed held on entry to each private helper method.
-
-        Fixpoint over the intra-class call graph: a private method inherits
-        the intersection of the lock sets held at every one of its same-class
-        call sites (public methods and uncalled helpers inherit nothing —
-        external callers are unknowable).
-        """
-        inherited: Dict[str, FrozenSet[str]] = {name: frozenset() for name in self.method_names}
-        sites_by_callee: Dict[str, List[_CallSite]] = {}
-        for site in self.call_sites:
-            sites_by_callee.setdefault(site.callee, []).append(site)
-        for _ in range(8):  # call chains in this repo are shallow; 8 is generous
-            changed = False
-            for method in self.method_names:
-                if not method.startswith("_") or method.startswith("__"):
-                    continue
-                sites = sites_by_callee.get(method)
-                if not sites:
-                    continue
-                contexts = []
-                for site in sites:
-                    if site.nested:
-                        contexts.append(frozenset())
-                    else:
-                        contexts.append(site.held | inherited.get(site.caller, frozenset()))
-                combined: FrozenSet[str] = frozenset.intersection(*contexts)
-                if combined != inherited[method]:
-                    inherited[method] = combined
-                    changed = True
-            if not changed:
-                break
-        return inherited
-
-
-class _ClassVisitor:
-    """Walks one class body, tracking the lexical ``with self.<lock>`` stack."""
-
-    def __init__(
-        self, info: _ClassInfo, resolver: ImportResolver, findings: List[Finding], path: str
-    ) -> None:
-        self.info = info
-        self.resolver = resolver
-        self.findings = findings
-        self.path = path
-
-    # ------------------------------------------------------------- first pass
-    def collect_locks(self, node: ast.ClassDef) -> None:
-        for sub in ast.walk(node):
-            if not isinstance(sub, ast.Assign) or not isinstance(sub.value, ast.Call):
-                continue
-            dotted = self.resolver.dotted_name(sub.value.func)
-            if dotted not in _LOCK_TYPES:
-                continue
-            for target in sub.targets:
-                attr = _self_attr(target)
-                if attr is None:
-                    continue
-                if dotted == "threading.Condition" and sub.value.args:
-                    wrapped = _self_attr(sub.value.args[0])
-                    if wrapped is not None:
-                        self.info.aliases[attr] = wrapped
-                        self.info.lock_attrs.add(wrapped)
-                        continue
-                self.info.lock_attrs.add(attr)
-
-    def collect_attr_types(self, node: ast.ClassDef, class_names: Set[str]) -> None:
-        for sub in ast.walk(node):
-            if not isinstance(sub, ast.Assign) or not isinstance(sub.value, ast.Call):
-                continue
-            func = sub.value.func
-            type_name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else None
-            )
-            if type_name is None or type_name not in class_names:
-                continue
-            for target in sub.targets:
-                attr = _self_attr(target)
-                if attr is not None:
-                    self.info.attr_types.setdefault(attr, set()).add(type_name)
-
-    # ------------------------------------------------------------ second pass
-    def walk_methods(self, node: ast.ClassDef) -> None:
-        for stmt in node.body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self.info.method_names.add(stmt.name)
-                for child in stmt.body:
-                    self._walk(child, stmt.name, frozenset(), nested=False)
-
-    def _walk(self, node: ast.AST, method: str, held: FrozenSet[str], nested: bool) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            acquired = list(held)
-            for item in node.items:
-                self._walk(item.context_expr, method, held, nested)
-                attr = _self_attr(item.context_expr)
-                if attr is not None and self.info.canonical(attr) in self.info.lock_attrs:
-                    lock = self.info.canonical(attr)
-                    if lock not in acquired:
-                        self.info.acquisitions.append(
-                            _Acquisition(lock, frozenset(acquired), method, item.context_expr.lineno)
-                        )
-                        acquired.append(lock)
-            inner = frozenset(acquired)
-            for child in node.body:
-                self._walk(child, method, inner, nested)
-            return
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            # A nested function runs later, on an unknown thread: no lock context.
-            body = node.body if isinstance(node.body, list) else [node.body]
-            for child in body:
-                self._walk(child, method, frozenset(), nested=True)
-            return
-        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                self._record_write(target, method, held, nested)
-            if node.value is not None:
-                self._walk(node.value, method, held, nested)
-            return
-        if isinstance(node, ast.Delete):
-            for target in node.targets:
-                self._record_write(target, method, held, nested)
-            return
-        if isinstance(node, ast.Call):
-            self._record_call(node, method, held, nested)
-            for child in ast.iter_child_nodes(node):
-                self._walk(child, method, held, nested)
-            return
-        for child in ast.iter_child_nodes(node):
-            self._walk(child, method, held, nested)
-
-    def _record_write(self, target: ast.AST, method: str, held: FrozenSet[str], nested: bool) -> None:
-        if isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                self._record_write(element, method, held, nested)
-            return
-        if isinstance(target, ast.Starred):
-            self._record_write(target.value, method, held, nested)
-            return
-        attr = _self_attr(target)
-        if attr is None or self.info.canonical(attr) in self.info.lock_attrs:
-            return
-        self.info.writes.append(_Write(attr, method, target.lineno, held, nested))
-
-    def _record_call(self, node: ast.Call, method: str, held: FrozenSet[str], nested: bool) -> None:
-        func = node.func
-        # self._helper(...) — intra-class call site (lock inheritance)
-        if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "self"
-        ):
-            self.info.call_sites.append(_CallSite(func.attr, method, node.lineno, held, nested))
-        if isinstance(func, ast.Attribute):
-            receiver = func.value
-            receiver_attr = _self_attr(receiver)
-            # self.attr.method(...) — mutation and cross-class edge material
-            if receiver_attr is not None:
-                if func.attr in _MUTATORS and self.info.canonical(receiver_attr) not in self.info.lock_attrs:
-                    self.info.writes.append(
-                        _Write(receiver_attr, method, node.lineno, held, nested)
-                    )
-                if not nested:
-                    self.info.attr_calls.append(
-                        _AttrCall(receiver_attr, func.attr, node.lineno, held, method, nested)
-                    )
-            if held and not nested:
-                self._check_blocking(node, func, method, held)
-
-    def _check_blocking(
-        self, node: ast.Call, func: ast.Attribute, method: str, held: FrozenSet[str]
-    ) -> None:
-        receiver = _receiver_text(func.value)
-        dotted = self.resolver.dotted_name(func)
-        blocking: Optional[str] = None
-        if dotted == "time.sleep":
-            blocking = "time.sleep"
-        elif func.attr == "result":
-            blocking = "Future.result"
-        elif func.attr == "join" and isinstance(func.value, (ast.Name, ast.Attribute)):
-            blocking = "join"
-        elif func.attr == "get" and "queue" in receiver.lower():
-            blocking = "Queue.get"
-        elif func.attr == "wait":
-            attr = _self_attr(func.value)
-            if attr is None or self.info.canonical(attr) not in held:
-                blocking = "wait on a foreign object"
-        if blocking is not None:
-            self.findings.append(
-                Finding(
-                    self.path,
-                    node.lineno,
-                    "lock-blocking-call",
-                    "warning",
-                    f"{blocking} called in {self.info.name}.{method} while holding "
-                    f"{sorted(held)}; a blocked holder stalls every other thread "
-                    "contending for the lock",
-                )
-            )
 
 
 class LockDisciplineChecker(Checker):
@@ -346,73 +54,123 @@ class LockDisciplineChecker(Checker):
     }
 
     def __init__(self) -> None:
-        self._classes: List[_ClassInfo] = []
-        self._suppressions: Dict[str, Dict[int, Set[str]]] = {}
+        self._project = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
 
     def check(self, context: FileContext) -> List[Finding]:
+        return []  # everything is whole-program: emitted from finalize()
+
+    def finalize(self) -> List[Finding]:
+        if self._project is None:
+            return []
+        project = self._project
+        summaries = project.summaries()
+        graph = project.graph()
         findings: List[Finding] = []
-        resolver = ImportResolver(context.tree)
-        self._suppressions[context.path] = context.suppressions
-        for node in ast.walk(context.tree):
-            if not isinstance(node, ast.ClassDef):
+        findings.extend(self._check_writes(project, summaries, graph))
+        findings.extend(self._check_blocking(project, summaries, graph))
+        findings.extend(self._check_ordering(project, summaries, graph))
+        seen = set()
+        unique: List[Finding] = []
+        for finding in findings:
+            key = (finding.file, finding.line, finding.rule, finding.message)
+            if key not in seen:
+                seen.add(key)
+                unique.append(finding)
+        return unique
+
+    # -------------------------------------------------------- unlocked writes
+    def _check_writes(self, project, summaries, graph) -> List[Finding]:
+        # (class qual, attr) -> [(write, effective held, function qual)]
+        by_attr: Dict[Tuple[str, str], List[Tuple[object, frozenset, str]]] = {}
+        for qual, summary in summaries.items():
+            decl = summary.decl
+            if decl.cls is None or decl.name in _INIT_LIKE:
                 continue
-            info = _ClassInfo(node.name, context.path)
-            visitor = _ClassVisitor(info, resolver, findings, context.path)
-            visitor.collect_locks(node)
-            if not info.lock_attrs:
+            if not project.mro_lock_attrs(decl.cls):
                 continue  # lock-free classes have no lock discipline to violate
-            visitor.walk_methods(node)
-            self._classes.append((info, node, resolver))  # type: ignore[arg-type]
-            findings.extend(self._check_writes(info))
-        return findings
-
-    def _check_writes(self, info: _ClassInfo) -> List[Finding]:
-        inherited = info.inherited_locks()
-
-        def effective(write: _Write) -> FrozenSet[str]:
-            if write.nested:
-                return write.held
-            return write.held | inherited.get(write.method, frozenset())
-
+            entry = graph.entry_held.get(qual, frozenset())
+            for write in summary.writes:
+                effective = write.held if write.deferred else write.held | entry
+                by_attr.setdefault((decl.cls, write.attr), []).append((write, effective, qual))
         findings: List[Finding] = []
-        by_attr: Dict[str, List[_Write]] = {}
-        for write in info.writes:
-            if write.method in _INIT_LIKE:
-                continue
-            by_attr.setdefault(write.attr, []).append(write)
-        for attr, writes in by_attr.items():
-            locked = [w for w in writes if effective(w)]
-            unlocked = [w for w in writes if not effective(w)]
+        for (cls, attr), writes in by_attr.items():
+            locked = [entry for entry in writes if entry[1]]
+            unlocked = [entry for entry in writes if not entry[1]]
             if not locked or not unlocked:
                 continue
-            guard = sorted({lock for w in locked for lock in effective(w)})
-            witness = locked[0]
-            for write in unlocked:
+            guard = sorted({short_lock(lock) for _, held, _ in locked for lock in held})
+            witness_write, _, witness_qual = locked[0]
+            class_name = cls.rsplit(".", 1)[-1]
+            witness_name = summaries[witness_qual].decl.name
+            for write, _, qual in unlocked:
                 findings.append(
                     Finding(
-                        info.file,
+                        summaries[qual].path,
                         write.line,
                         "lock-unlocked-write",
                         "error",
-                        f"{info.name}.{attr} is written under {guard} (e.g. "
-                        f"{witness.method}:{witness.line}) but without a lock in "
-                        f"{write.method}; concurrent writers can lose updates",
+                        f"{class_name}.{attr} is written under {guard} (e.g. "
+                        f"{witness_name}:{witness_write.line}) but without a lock in "
+                        f"{summaries[qual].decl.name}; concurrent writers can lose updates",
                     )
                 )
         return findings
 
-    # ------------------------------------------------------------- cross-file
-    def finalize(self) -> List[Finding]:
-        infos: List[_ClassInfo] = [entry[0] for entry in self._classes]  # type: ignore[misc]
-        class_by_name: Dict[str, _ClassInfo] = {info.name: info for info in infos}
-        # attribute types need the full class-name universe, so resolve now
-        names = set(class_by_name)
-        for info, node, resolver in self._classes:  # type: ignore[misc]
-            _ClassVisitor(info, resolver, [], info.file).collect_attr_types(node, names)
+    # --------------------------------------------------------- blocking calls
+    def _check_blocking(self, project, summaries, graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for qual, summary in summaries.items():
+            entry = graph.entry_held.get(qual, frozenset())
+            where = display_name(project, qual)
+            for op in summary.blocking:
+                effective = op.held | entry
+                if not effective:
+                    continue
+                if op.releases is not None and op.releases in effective:
+                    continue  # waiting on the held condition releases it
+                findings.append(
+                    Finding(
+                        summary.path,
+                        op.line,
+                        "lock-blocking-call",
+                        "warning",
+                        f"{op.desc} called in {where} while holding "
+                        f"{sorted(short_lock(lock) for lock in effective)}; a blocked "
+                        "holder stalls every other thread contending for the lock",
+                    )
+                )
+            # Interprocedural: holding a lock while calling into something that
+            # may block.  Skip callees that inherit the lock on entry — their
+            # own blocking ops are already reported above, at the deeper site.
+            for site, targets in zip(summary.calls, graph.targets[qual]):
+                if site.deferred:
+                    continue
+                effective = site.held | entry
+                if not effective:
+                    continue
+                for target in targets:
+                    witness = graph.may_block.get(target)
+                    if witness is None or graph.entry_held.get(target, frozenset()):
+                        continue
+                    findings.append(
+                        Finding(
+                            summary.path,
+                            site.line,
+                            "lock-blocking-call",
+                            "warning",
+                            f"{where} calls {display_name(project, target)} "
+                            f"(may block: {witness}) while holding "
+                            f"{sorted(short_lock(lock) for lock in effective)}; a blocked "
+                            "holder stalls every other thread contending for the lock",
+                        )
+                    )
+        return findings
 
-        def lock_node(info: _ClassInfo, lock: str) -> str:
-            return f"{info.name}.{lock}"
-
+    # ----------------------------------------------------------- lock ordering
+    def _check_ordering(self, project, summaries, graph) -> List[Finding]:
         # edges: (outer lock, inner lock) -> representative (file, line, text)
         edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
 
@@ -420,59 +178,50 @@ class LockDisciplineChecker(Checker):
             if outer != inner:
                 edges.setdefault((outer, inner), (file, line, text))
 
-        for info in infos:
-            inherited = info.inherited_locks()
-            for acq in info.acquisitions:
-                held = acq.held | inherited.get(acq.method, frozenset())
-                for outer in held:
+        for qual, summary in summaries.items():
+            entry = graph.entry_held.get(qual, frozenset())
+            name = display_name(project, qual)
+            for acq in summary.acquires:
+                for outer in acq.held | entry:
                     add_edge(
-                        lock_node(info, outer),
-                        lock_node(info, acq.lock),
-                        info.file,
+                        outer,
+                        acq.lock,
+                        summary.path,
                         acq.line,
-                        f"{info.name}.{acq.method} acquires {acq.lock} while holding {outer}",
+                        f"{name} acquires {short_lock(acq.lock)} while holding {short_lock(outer)}",
                     )
-            # cross-class: self.attr.m() under a held lock enters attr's class
-            for call in info.attr_calls:
-                held = call.held | inherited.get(call.caller, frozenset())
+            for site, targets in zip(summary.calls, graph.targets[qual]):
+                if site.deferred:
+                    continue
+                held = site.held | entry
                 if not held:
                     continue
-                for type_name in info.attr_types.get(call.attr, ()):
-                    target = class_by_name.get(type_name)
-                    if target is None:
-                        continue
-                    target_inherited = target.inherited_locks()
-                    target_locks = {
-                        acq.lock
-                        for acq in target.acquisitions
-                        if acq.method == call.method
-                    } | target_inherited.get(call.method, frozenset())
-                    for inner in target_locks:
+                for target in targets:
+                    for inner, how in graph.trans_acquires.get(target, {}).items():
                         for outer in held:
                             add_edge(
-                                lock_node(info, outer),
-                                lock_node(target, inner),
-                                info.file,
-                                call.line,
-                                f"{info.name}.{call.caller} calls {type_name}."
-                                f"{call.method} (acquires {inner}) while holding {outer}",
+                                outer,
+                                inner,
+                                summary.path,
+                                site.line,
+                                f"{name} calls {display_name(project, target)} "
+                                f"({how}) while holding {short_lock(outer)}",
                             )
 
         findings: List[Finding] = []
         for cycle_edges in _cycles(edges):
             chain = " ; ".join(edges[edge][2] for edge in cycle_edges)
             file, line, _ = edges[cycle_edges[0]]
-            finding = Finding(
-                file,
-                line,
-                "lock-order-inversion",
-                "error",
-                f"lock-order inversion: {chain} — opposite acquisition orders deadlock "
-                "under contention",
+            findings.append(
+                Finding(
+                    file,
+                    line,
+                    "lock-order-inversion",
+                    "error",
+                    f"lock-order inversion: {chain} — opposite acquisition orders deadlock "
+                    "under contention",
+                )
             )
-            suppressions = self._suppressions.get(file, {})
-            if not is_suppressed(suppressions, line, finding.rule):
-                findings.append(finding)
         return findings
 
 

@@ -141,7 +141,7 @@ class PickleSafetyChecker(Checker):
     }
 
     def check(self, context: FileContext) -> List[Finding]:
-        resolver = ImportResolver(context.tree)
+        resolver = context.resolver
         uses_multiprocessing = any(
             dotted == "multiprocessing" or dotted.startswith("multiprocessing.")
             for dotted in resolver.aliases.values()

@@ -91,6 +91,7 @@ class _RngVisitor(ast.NodeVisitor):
         self._loop_depth = 0
         self._in_sanctioned_file = context.in_scope(ALLOWED_FILE)
         self._hot_path = context.in_scope(*HOT_PATH_FRAGMENTS)
+        self._in_test_scope = context.in_test_scope()
 
     def _emit(self, node: ast.AST, rule: str, message: str, severity: str = "error") -> None:
         self.findings.append(
@@ -141,6 +142,16 @@ class _RngVisitor(ast.NodeVisitor):
         if self._in_sanctioned_file:
             return
         if dotted in _CONSTRUCTORS:
+            if self._in_test_scope and (node.args or node.keywords):
+                return  # tests/benchmarks may build explicitly-seeded generators
+            if self._in_test_scope:
+                self._emit(
+                    node,
+                    "rng-direct-construction",
+                    f"seedless `{dotted}` in a test/benchmark draws OS entropy, so "
+                    "the run is unrepeatable; pass an explicit seed",
+                )
+                return
             self._emit(
                 node,
                 "rng-direct-construction",
@@ -198,6 +209,6 @@ class RngDisciplineChecker(Checker):
     }
 
     def check(self, context: FileContext) -> List[Finding]:
-        visitor = _RngVisitor(context, ImportResolver(context.tree))
+        visitor = _RngVisitor(context, context.resolver)
         visitor.visit(context.tree)
         return visitor.findings

@@ -1,69 +1,199 @@
 """Shared visitor core of the invariant linter.
 
-The framework is deliberately small: a :class:`Checker` receives one parsed
-:class:`FileContext` at a time and returns :class:`Finding` objects; the
-:func:`run_analysis` driver owns file discovery, parsing, suppression
-filtering and ordering.  Checkers that need *cross-file* state (the lock
-checker's lock-order graph spans classes defined in different modules)
-implement :meth:`Checker.finalize`, which runs once after every file has been
-visited.
+The framework has two tiers.  Per-file: a :class:`Checker` receives one
+parsed :class:`FileContext` at a time and returns :class:`Finding` objects.
+Whole-program: before any per-file pass runs, the driver parses *every* file
+exactly once, builds one :class:`repro.analysis.project.Project` (module
+graph, re-export resolution, class hierarchy, per-function summaries and the
+call-graph fixpoint), and hands it to each checker via
+:meth:`Checker.begin_project`; checkers that reason across module boundaries
+(held locks, RNG stream ownership, future resolution) read everything they
+need from that shared model instead of re-walking ASTs.  Cross-file findings
+are emitted from :meth:`Checker.finalize`, which runs once after every file
+has been visited.
 
-:class:`ImportResolver` is the one piece of shared semantic machinery: it
-maps AST name/attribute chains back to the dotted module path they were
-imported from (``np.random.default_rng`` -> ``numpy.random.default_rng``,
+:class:`ImportResolver` is the shared semantic bedrock: it maps AST
+name/attribute chains back to the dotted module path they were imported from
+(``np.random.default_rng`` -> ``numpy.random.default_rng``,
 ``from repro.common.rng import RandomState`` -> ``repro.common.rng.RandomState``),
-so checkers match *what a name means*, not what it is spelled as.
+so checkers match *what a name means*, not what it is spelled as.  It is
+module-aware: given the module's dotted name it resolves relative imports
+(``from ..common.rng import RandomState`` inside ``repro.serving.workers``),
+and module-level re-bindings shadow earlier imports in lexical order.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import is_suppressed, parse_suppressions
 
-__all__ = ["Checker", "FileContext", "ImportResolver", "discover_files", "run_analysis"]
+__all__ = [
+    "Checker",
+    "FileContext",
+    "ImportResolver",
+    "discover_files",
+    "module_name_for",
+    "parse_contexts",
+    "run_analysis",
+]
+
+
+def module_name_for(path: str, root: Optional[str] = None) -> str:
+    """Dotted module name of ``path``, anchored at ``root`` when given.
+
+    ``src/`` prefixes are stripped (the repo's layout), ``__init__.py`` maps
+    to its package, and a file outside any recognisable package root falls
+    back to its stem — good enough for flat test fixtures.
+    """
+    norm = path.replace(os.sep, "/")
+    if root:
+        root_norm = root.replace(os.sep, "/").rstrip("/")
+        if norm.startswith(root_norm + "/"):
+            norm = norm[len(root_norm) + 1 :]
+        elif norm == root_norm:
+            norm = os.path.basename(norm)
+    parts = [part for part in norm.split("/") if part not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    # Anchor at the innermost package root we recognise ("repro" in-tree,
+    # or the path the caller rooted the run at for fixtures).
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts)
 
 
 class FileContext:
     """One parsed source file, shared by every checker."""
 
-    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+    def __init__(
+        self, path: str, source: str, tree: ast.Module, module: Optional[str] = None
+    ) -> None:
         self.path = path
         self.source = source
         self.tree = tree
         self.suppressions = parse_suppressions(source)
         #: normalised path with forward slashes, for portable scope matching
         self.norm_path = path.replace(os.sep, "/")
+        self.is_package = os.path.basename(path) == "__init__.py"
+        self.module = module if module is not None else module_name_for(path)
+        #: one resolver per file, shared by every checker (parse-once contract)
+        self.resolver = ImportResolver(tree, module=self.module, is_package=self.is_package)
 
     def in_scope(self, *fragments: str) -> bool:
         """True if the file path contains any of the given fragments."""
         return any(fragment in self.norm_path for fragment in fragments)
 
+    def in_test_scope(self) -> bool:
+        """True for test/benchmark files (looser RNG-construction policy)."""
+        name = os.path.basename(self.norm_path)
+        return (
+            "tests/" in self.norm_path
+            or "benchmarks/" in self.norm_path
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
 
-class ImportResolver(ast.NodeVisitor):
-    """Resolve local names to the dotted import paths they are bound to."""
 
-    def __init__(self, tree: ast.Module) -> None:
+class ImportResolver:
+    """Resolve local names to the dotted import paths they are bound to.
+
+    Statements are processed in lexical order, so a later module-level
+    binding (``def random(): ...`` after ``import random``) shadows the
+    import — :meth:`dotted_name` then refuses to claim the shadowed name
+    still means the module.  Relative imports are resolved against the
+    module's own dotted name when one is known.
+    """
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        module: Optional[str] = None,
+        is_package: bool = False,
+    ) -> None:
+        self.module = module
+        if module and not is_package:
+            self.package = module.rsplit(".", 1)[0] if "." in module else ""
+        else:
+            self.package = module or ""
         self.aliases: Dict[str, str] = {}
-        self.visit(tree)
+        self._process(tree.body, module_level=True)
 
-    def visit_Import(self, node: ast.Import) -> None:
+    # ------------------------------------------------------------- processing
+    def _process(self, stmts: Sequence[ast.stmt], module_level: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                self._bind_import(stmt)
+            elif isinstance(stmt, ast.ImportFrom):
+                self._bind_import_from(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if module_level:
+                    self.aliases.pop(stmt.name, None)
+                self._process(stmt.body, module_level=False)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if module_level:
+                    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            self.aliases.pop(target.id, None)
+            else:
+                for child_body in ("body", "orelse", "finalbody"):
+                    children = getattr(stmt, child_body, None)
+                    if children:
+                        self._process(children, module_level=module_level)
+                for handler in getattr(stmt, "handlers", ()) or ():
+                    self._process(handler.body, module_level=module_level)
+
+    def _bind_import(self, node: ast.Import) -> None:
         for alias in node.names:
-            self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
             if alias.asname:
                 self.aliases[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self.aliases[root] = root
 
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module is None or node.level:
-            return  # relative imports: out of scope for the repo's style
+    def _resolve_relative_base(self, level: int) -> Optional[str]:
+        """Anchor package of a level-``level`` relative import, if known."""
+        if not self.package and level > 1:
+            return None
+        parts = self.package.split(".") if self.package else []
+        if level - 1 > len(parts):
+            return None
+        kept = parts[: len(parts) - (level - 1)]
+        return ".".join(kept)
+
+    def _bind_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            if self.module is None:
+                return  # no anchor: keep the pre-module-aware behaviour
+            base = self._resolve_relative_base(node.level)
+            if base is None:
+                return
+            module = f"{base}.{node.module}" if node.module else base
+            module = module.strip(".")
+        else:
+            if node.module is None:
+                return
+            module = node.module
         for alias in node.names:
-            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            if alias.name == "*":
+                continue
+            target = f"{module}.{alias.name}" if module else alias.name
+            self.aliases[alias.asname or alias.name] = target
 
+    # -------------------------------------------------------------- resolution
     def dotted_name(self, node: ast.AST) -> Optional[str]:
         """The fully-resolved dotted path of a Name/Attribute chain, if any."""
         parts: List[str] = []
@@ -89,6 +219,9 @@ class Checker:
         """Whether this checker wants to visit ``path`` at all."""
         return path.endswith(".py")
 
+    def begin_project(self, project) -> None:
+        """Receive the shared whole-program model before any file pass runs."""
+
     def check(self, context: FileContext) -> List[Finding]:
         """Per-file pass; return this file's findings."""
         raise NotImplementedError
@@ -98,52 +231,81 @@ class Checker:
         return []
 
 
-def discover_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    found: List[str] = []
+def discover_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Expand files/directories into sorted, de-duplicated (path, root) pairs.
+
+    ``root`` is the analysis root the file was found under — the anchor for
+    deriving its dotted module name.
+    """
+    found: Dict[str, str] = {}
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(d for d in dirnames if not d.startswith(".") and d != "__pycache__")
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
-                        found.append(os.path.join(dirpath, filename))
+                        found.setdefault(os.path.join(dirpath, filename), path)
         elif path.endswith(".py"):
-            found.append(path)
+            found.setdefault(path, os.path.dirname(path))
         else:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
-    return sorted(dict.fromkeys(found))
+    return sorted(found.items())
 
 
-def run_analysis(paths: Sequence[str], checkers: Iterable[Checker]) -> List[Finding]:
-    """Run every checker over every discovered file; return ordered findings.
+def parse_contexts(
+    paths: Sequence[str],
+) -> Tuple[List[FileContext], List[Finding]]:
+    """Parse every discovered file exactly once.
 
-    Unreadable or syntactically invalid files surface as ``syntax-error``
-    findings rather than crashing the run — a file the linter cannot parse
-    cannot be certified either.  Suppression comments are applied here, so
-    individual checkers never need to think about them.
+    Returns the parsed contexts plus ``syntax-error`` findings for files that
+    could not be read or parsed — a file the linter cannot parse cannot be
+    certified either, so those fail the gate rather than crash the run.
     """
-    checkers = list(checkers)
-    findings: List[Finding] = []
-    for path in discover_files(paths):
+    contexts: List[FileContext] = []
+    errors: List[Finding] = []
+    for path, root in discover_files(paths):
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
             tree = ast.parse(source, filename=path)
         except (OSError, SyntaxError, ValueError) as error:
             line = getattr(error, "lineno", 1) or 1
-            findings.append(
+            errors.append(
                 Finding(path, int(line), "syntax-error", "error", f"cannot analyse file: {error}")
             )
             continue
-        context = FileContext(path, source, tree)
+        contexts.append(FileContext(path, source, tree, module=module_name_for(path, root)))
+    return contexts, errors
+
+
+def run_analysis(paths: Sequence[str], checkers: Iterable[Checker]) -> List[Finding]:
+    """Run every checker over every discovered file; return ordered findings.
+
+    Files are parsed once and the resulting ASTs (plus the whole-program
+    :class:`~repro.analysis.project.Project` built from them) are shared by
+    every checker — the fixpoint engine must not multiply parse cost.
+    Suppression comments are applied here for per-file *and* cross-file
+    findings, so individual checkers never need to think about them.
+    """
+    from repro.analysis.project import Project  # local: core must stay import-light
+
+    checkers = list(checkers)
+    contexts, findings = parse_contexts(paths)
+    project = Project(contexts)
+    suppressions_by_path = {context.path: context.suppressions for context in contexts}
+    for checker in checkers:
+        checker.begin_project(project)
+    for context in contexts:
         for checker in checkers:
-            if not checker.relevant(path):
+            if not checker.relevant(context.path):
                 continue
             for finding in checker.check(context):
                 if not is_suppressed(context.suppressions, finding.line, finding.rule):
                     findings.append(finding)
     for checker in checkers:
-        findings.extend(checker.finalize())
+        for finding in checker.finalize():
+            suppressions = suppressions_by_path.get(finding.file, {})
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
     findings.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
     return findings

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.rng import RandomState, get_rng
 from repro.ppl.empirical import Empirical
-from repro.ppl.inference.batched import batched_importance_sampling, per_trace_rngs
+from repro.ppl.inference.batched import batched_importance_sampling_seeded, per_trace_rngs
 from repro.ppl.model import RemoteModel
 
 __all__ = ["distributed_importance_sampling", "partition_traces", "shard_jobs"]
@@ -133,7 +133,10 @@ def distributed_importance_sampling(
         try:
             if sizes[rank] == 0:
                 return
-            results[rank] = batched_importance_sampling(
+            # The seeded core, not the defaulting entry point: a rank body
+            # must consume the stream the parent derived for it, never
+            # default one of its own.
+            results[rank] = batched_importance_sampling_seeded(
                 model,
                 observation,
                 num_traces=sizes[rank],

@@ -47,6 +47,7 @@ from repro.trace.trace import Trace
 
 __all__ = [
     "batched_importance_sampling",
+    "batched_importance_sampling_seeded",
     "mixed_batched_importance_sampling",
     "per_trace_rngs",
     "resolve_observation_array",
@@ -196,7 +197,7 @@ class _LockstepCoordinator:
                 self._poisoned = True
                 blocked = {message[1] for message in self._messages if message[0] == "request"}
                 self._messages = []
-            for request_slot in outstanding | blocked:
+            for request_slot in sorted(outstanding | blocked):
                 self._responses[request_slot] = None
                 self._events[request_slot].set()
             raise
@@ -548,11 +549,47 @@ def batched_importance_sampling(
         batched steps, divergent rounds, cohorts) are attached as the
         ``engine_stats`` attribute.
     """
+    return batched_importance_sampling_seeded(
+        model,
+        observation,
+        num_traces=num_traces,
+        batch_size=batch_size,
+        network=network,
+        observe_key=observe_key,
+        rng=rng or get_rng(),
+        trace_callback=trace_callback,
+        batched_proposals=batched_proposals,
+    )
+
+
+def batched_importance_sampling_seeded(
+    model,
+    observation: Dict[str, Any],
+    num_traces: int,
+    batch_size: int,
+    network=None,
+    observe_key: Optional[str] = None,
+    rng: Optional[RandomState] = None,
+    trace_callback: Optional[Callable[[Trace, float], None]] = None,
+    batched_proposals: bool = True,
+) -> Empirical:
+    """The seeded core of :func:`batched_importance_sampling`.
+
+    ``rng`` is required: this is the variant job bodies (distributed ranks,
+    pool workers) must call, with a stream the *parent* derived via the spawn
+    tree — a job that defaulted its own generator would draw from a different
+    process's global stream.  Only the top-level entry point
+    :func:`batched_importance_sampling` may default ``rng`` to ``get_rng()``.
+    """
     if num_traces <= 0:
         raise ValueError("num_traces must be positive")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    rng = rng or get_rng()
+    if rng is None:
+        raise ValueError(
+            "batched_importance_sampling_seeded requires an explicit rng; "
+            "use batched_importance_sampling for the defaulting entry point"
+        )
     rngs = per_trace_rngs(rng, num_traces)
     stats = new_engine_stats()
     observation_array = resolve_observation_array(network, observation, observe_key)

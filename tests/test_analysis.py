@@ -3,6 +3,7 @@ suppressions, the baseline round-trip, the stable JSON schema, and the CLI
 gate over the real tree."""
 
 import json
+import shutil
 import subprocess
 import sys
 import textwrap
@@ -29,6 +30,19 @@ def lint(tmp_path, rel_path, source):
     path = tmp_path / rel_path
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(textwrap.dedent(source))
+    return run_analysis([str(tmp_path)], all_checkers())
+
+
+def lint_files(tmp_path, files):
+    """Write several ``rel_path -> source`` files and lint the whole tree.
+
+    The multi-file variant of :func:`lint`, for the interprocedural rules:
+    violations here deliberately span module boundaries.
+    """
+    for rel_path, source in files.items():
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
     return run_analysis([str(tmp_path)], all_checkers())
 
 
@@ -683,3 +697,609 @@ class TestCommandLine:
         result = self._run(str(tmp_path), "--no-baseline")
         assert result.returncode == 1
         assert "syntax-error" in result.stdout
+
+
+# ------------------------------------------------- interprocedural lock rules
+class TestInterproceduralLocks:
+    def test_blocking_callee_in_another_module_flagged_at_the_call_site(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/svc.py": """
+                import threading
+                from repro.serving.helper import finish_request
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def bump(self):
+                        with self._lock:
+                            finish_request(self)
+                """,
+                "repro/serving/helper.py": """
+                import time
+
+                def finish_request(svc):
+                    time.sleep(0.1)
+                """,
+            },
+        )
+        blocking = [f for f in findings if f.rule == "lock-blocking-call"]
+        assert len(blocking) == 1
+        assert "svc.py" in blocking[0].file
+        assert "finish_request" in blocking[0].message
+        assert "time.sleep" in blocking[0].message  # the witness chain
+
+    def test_private_helper_in_another_module_inherits_the_callers_lock(self, tmp_path):
+        # _apply writes without a lexical lock scope, but its only call site
+        # (in a different module) holds the lock -> no unlocked-write.
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/svc.py": """
+                import threading
+                from repro.serving.state import Counter
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.counter = Counter()
+
+                    def bump(self, counter):
+                        with self._lock:
+                            counter._apply(1)
+                """,
+                "repro/serving/state.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._value = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._apply(1)
+
+                    def _apply(self, delta):
+                        self._value += delta
+                """,
+            },
+        )
+        assert "lock-unlocked-write" not in rules_of(findings)
+
+    def test_callback_registered_through_a_constructor_is_traced(self, tmp_path):
+        # Sched calls self._cb() under its lock; the callback is Service's
+        # bound method, injected via Sched(cb=...) in another module, and it
+        # blocks -> blocking-under-lock at the scheduler's call site.
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/sched.py": """
+                import threading
+
+                class Sched:
+                    def __init__(self, cb):
+                        self._lock = threading.Lock()
+                        self._cb = cb
+
+                    def run(self):
+                        with self._lock:
+                            self._cb()
+                """,
+                "repro/serving/svc.py": """
+                import queue
+                from repro.serving.sched import Sched
+
+                class Service:
+                    def __init__(self):
+                        self._queue = queue.Queue()
+                        self._sched = Sched(cb=self._wait_for_work)
+
+                    def _wait_for_work(self):
+                        return self._queue.get()
+                """,
+            },
+        )
+        blocking = [f for f in findings if f.rule == "lock-blocking-call"]
+        assert blocking, rules_of(findings)
+        # The callback inherits the scheduler's lock on entry, so the finding
+        # lands at the deepest site — the blocking call itself — naming the
+        # foreign lock that is held there.
+        assert any(
+            "svc.py" in f.file and "Sched._lock" in f.message for f in blocking
+        ), [f.message for f in blocking]
+
+    def test_lock_order_inversion_across_modules(self, tmp_path):
+        # a.forward holds a._LOCK and calls into b (which takes b._LOCK);
+        # b.backward holds b._LOCK and calls into a (which takes a._LOCK).
+        # Neither file alone shows a nesting — only the cross-module
+        # transitive-acquisition edges close the cycle.
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/a.py": """
+                import threading
+                from repro.serving import b
+
+                _LOCK = threading.Lock()
+
+                def forward():
+                    with _LOCK:
+                        b.take()
+
+                def take():
+                    with _LOCK:
+                        pass
+                """,
+                "repro/serving/b.py": """
+                import threading
+                from repro.serving import a
+
+                _LOCK = threading.Lock()
+
+                def backward():
+                    with _LOCK:
+                        a.take()
+
+                def take():
+                    with _LOCK:
+                        pass
+                """,
+            },
+        )
+        inversions = [f for f in findings if f.rule == "lock-order-inversion"]
+        assert inversions, rules_of(findings)
+
+    def test_consistent_cross_module_order_passes(self, tmp_path):
+        # Same shape as the inversion fixture, but every path agrees on the
+        # a-before-b order, so the transitive edges stay acyclic.
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/a.py": """
+                import threading
+                from repro.serving import b
+
+                _LOCK = threading.Lock()
+
+                def forward():
+                    with _LOCK:
+                        b.take()
+
+                def also_forward():
+                    with _LOCK:
+                        b.take()
+                """,
+                "repro/serving/b.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def take():
+                    with _LOCK:
+                        pass
+
+                def backward():
+                    with _LOCK:
+                        pass
+                """,
+            },
+        )
+        assert "lock-order-inversion" not in rules_of(findings)
+
+
+# ------------------------------------------------------- rng stream ownership
+class TestRngOwnership:
+    def test_construction_below_a_dispatched_job_body_flagged(self, tmp_path):
+        # The construction hides one call below the dispatched callable, in
+        # another module: only the call-graph fixpoint can see it.
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/pooluser.py": """
+                from repro.serving.jobs import job_body
+
+                def launch(pool):
+                    for index in range(4):
+                        pool.submit(job_body, index)
+                """,
+                "repro/serving/jobs.py": """
+                from repro.ppl.draws import draw_some
+
+                def job_body(index):
+                    return draw_some(index)
+                """,
+                "repro/ppl/draws.py": """
+                from repro.common.rng import RandomState
+
+                def draw_some(index):
+                    rng = RandomState(index)
+                    return rng
+                """,
+            },
+        )
+        constructions = [f for f in findings if f.rule == "rng-job-construction"]
+        assert constructions, rules_of(findings)
+        assert any("draws.py" in f.file for f in constructions)
+        assert "dispatched" in constructions[0].message
+
+    def test_parent_derived_spawn_per_job_passes(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/pooluser.py": """
+                from repro.common.rng import get_rng
+                from repro.serving.jobs import job_body
+
+                def launch(pool, base):
+                    for index in range(4):
+                        child = base.spawn((7, index))
+                        pool.submit(job_body, child)
+                """,
+                "repro/serving/jobs.py": """
+                def job_body(rng):
+                    return rng.generator.normal()
+                """,
+            },
+        )
+        assert "rng-job-construction" not in rules_of(findings)
+        assert "rng-shared-stream" not in rules_of(findings)
+
+    def test_one_stream_dispatched_from_a_loop_flagged(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/pooluser.py": """
+                from repro.common.rng import get_rng
+                from repro.serving.jobs import job_body
+
+                def launch(pool):
+                    rng = get_rng()
+                    for index in range(4):
+                        pool.submit(job_body, rng)
+                """,
+                "repro/serving/jobs.py": """
+                def job_body(rng):
+                    return rng.generator.normal()
+                """,
+            },
+        )
+        shared = [f for f in findings if f.rule == "rng-shared-stream"]
+        assert shared, rules_of(findings)
+        assert "loop" in shared[0].message
+
+    def test_one_stream_reaching_two_dispatch_sites_flagged(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/pooluser.py": """
+                from repro.common.rng import get_rng
+                from repro.serving.jobs import job_body, other_body
+
+                def launch(pool):
+                    rng = get_rng()
+                    pool.submit(job_body, rng)
+                    pool.submit(other_body, rng)
+                """,
+                "repro/serving/jobs.py": """
+                def job_body(rng):
+                    return rng.generator.normal()
+
+                def other_body(rng):
+                    return rng.generator.normal()
+                """,
+            },
+        )
+        shared = [f for f in findings if f.rule == "rng-shared-stream"]
+        assert shared, rules_of(findings)
+        assert "concurrent consumers" in shared[0].message
+
+
+# ---------------------------------------------------------- future resolution
+class TestFutureResolution:
+    def test_branch_that_skips_resolution_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from concurrent.futures import Future
+
+            def handle(ready):
+                fut = Future()
+                if ready:
+                    fut.set_result(1)
+                return None
+            """,
+        )
+        leaks = [f for f in findings if f.rule == "future-unresolved"]
+        assert leaks, rules_of(findings)
+        assert "some paths" in leaks[0].message
+
+    def test_resolution_on_every_branch_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from concurrent.futures import Future
+
+            def handle(ready):
+                fut = Future()
+                if ready:
+                    fut.set_result(1)
+                else:
+                    fut.set_exception(ValueError("not ready"))
+                return None
+            """,
+        )
+        assert "future-unresolved" not in rules_of(findings)
+
+    def test_try_except_resolution_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from concurrent.futures import Future
+
+            def handle(work):
+                fut = Future()
+                try:
+                    value = work()
+                except Exception as error:
+                    fut.set_exception(error)
+                else:
+                    fut.set_result(value)
+                return None
+            """,
+        )
+        assert "future-unresolved" not in rules_of(findings)
+
+    def test_returned_future_is_a_handoff_not_a_leak(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from concurrent.futures import Future
+
+            def admit():
+                fut = Future()
+                return fut
+            """,
+        )
+        assert "future-unresolved" not in rules_of(findings)
+
+    def test_stored_future_is_a_handoff_not_a_leak(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from concurrent.futures import Future
+
+            class Service:
+                def admit(self, key):
+                    fut = Future()
+                    self._inflight[key] = fut
+            """,
+        )
+        assert "future-unresolved" not in rules_of(findings)
+
+    def test_helper_in_another_module_that_resolves_counts(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/svc.py": """
+                from concurrent.futures import Future
+                from repro.serving.helper import finish
+
+                def handle(value):
+                    fut = Future()
+                    finish(fut, value)
+                """,
+                "repro/serving/helper.py": """
+                def finish(future, value):
+                    future.set_result(value)
+                """,
+            },
+        )
+        assert "future-unresolved" not in rules_of(findings)
+
+    def test_helper_that_resolves_on_some_paths_only_flagged(self, tmp_path):
+        findings = lint_files(
+            tmp_path,
+            {
+                "repro/serving/svc.py": """
+                from concurrent.futures import Future
+                from repro.serving.helper import finish
+
+                def handle(value):
+                    fut = Future()
+                    finish(fut, value)
+                """,
+                "repro/serving/helper.py": """
+                def finish(future, value):
+                    if value is not None:
+                        future.set_result(value)
+                """,
+            },
+        )
+        assert "future-unresolved" in rules_of(findings)
+
+
+# ----------------------------------------------------- deterministic iteration
+class TestDeterministicIteration:
+    def test_for_loop_over_a_set_on_a_hot_path_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            def drain(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """,
+        )
+        assert "det-set-iteration" in rules_of(findings)
+
+    def test_set_attribute_seen_from_another_method(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            class Service:
+                def __init__(self):
+                    self._pending = set()
+
+                def snapshot(self):
+                    return list(self._pending)
+            """,
+        )
+        assert "det-set-iteration" in rules_of(findings)
+
+    def test_sorted_iteration_passes(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            def drain(items):
+                pending = set(items)
+                for item in sorted(pending):
+                    print(item)
+                return len(pending)
+            """,
+        )
+        assert "det-set-iteration" not in rules_of(findings)
+
+    def test_cold_path_is_out_of_scope(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/analysis/mod.py",
+            """
+            def drain(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """,
+        )
+        assert "det-set-iteration" not in rules_of(findings)
+
+    def test_arbitrary_set_pop_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            def steal(ready):
+                work = set(ready)
+                return work.pop()
+            """,
+        )
+        assert "det-set-iteration" in rules_of(findings)
+
+
+# ----------------------------------------------------------- CLI satellites
+class TestCliSatellites:
+    WARNING_ONLY_TREE = """
+    import threading
+    import time
+
+    class Pool:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def slow(self):
+            with self._lock:
+                time.sleep(1.0)
+    """
+
+    def _run(self, *args, cwd=None):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or str(REPO_ROOT),
+            env=env,
+        )
+
+    def _write(self, tmp_path, rel_path, source):
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+    def test_warnings_are_reported_but_do_not_fail_the_default_gate(self, tmp_path):
+        self._write(tmp_path, "repro/serving/mod.py", self.WARNING_ONLY_TREE)
+        result = self._run(str(tmp_path), "--no-baseline")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "lock-blocking-call" in result.stdout  # reported anyway
+
+    def test_severity_warning_gates_on_warnings(self, tmp_path):
+        self._write(tmp_path, "repro/serving/mod.py", self.WARNING_ONLY_TREE)
+        result = self._run(str(tmp_path), "--no-baseline", "--severity", "warning")
+        assert result.returncode == 1, result.stdout + result.stderr
+
+    def test_errors_fail_the_default_gate(self, tmp_path):
+        self._write(
+            tmp_path,
+            "repro/ppl/mod.py",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        result = self._run(str(tmp_path), "--no-baseline")
+        assert result.returncode == 1
+
+    def test_github_format_emits_workflow_annotations(self, tmp_path):
+        self._write(
+            tmp_path,
+            "repro/ppl/mod.py",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        result = self._run(str(tmp_path), "--no-baseline", "--format", "github")
+        assert result.returncode == 1
+        line = [l for l in result.stdout.splitlines() if l.startswith("::error ")][0]
+        assert "file=" in line and ",line=" in line and "rng-module-call" in line
+
+    def test_format_and_output_must_agree(self, tmp_path):
+        result = self._run("--format", "github", "--output", "json")
+        assert result.returncode == 2
+
+    def _git(self, cwd, *args):
+        return subprocess.run(
+            [
+                "git", "-c", "user.email=ci@example.com", "-c", "user.name=ci",
+                *args,
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(cwd),
+            check=True,
+        )
+
+    def test_changed_only_reports_findings_in_new_files(self, tmp_path):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        self._git(tmp_path, "init", "-q")
+        self._write(tmp_path, "repro/ppl/clean.py", "x = 1\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "clean tree")
+        self._write(
+            tmp_path, "repro/ppl/mod.py", "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        result = self._run("repro", "--no-baseline", "--changed-only", cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "rng-module-call" in result.stdout
+
+    def test_changed_only_filters_out_preexisting_findings(self, tmp_path):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        self._git(tmp_path, "init", "-q")
+        self._write(
+            tmp_path, "repro/ppl/mod.py", "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "tree with pre-existing debt")
+        self._write(tmp_path, "repro/ppl/unrelated.py", "y = 2\n")
+        # The whole-program run still sees the old finding...
+        full = self._run("repro", "--no-baseline", cwd=tmp_path)
+        assert full.returncode == 1
+        # ...but the changed-only gate only charges the files this change touched.
+        scoped = self._run("repro", "--no-baseline", "--changed-only", cwd=tmp_path)
+        assert scoped.returncode == 0, scoped.stdout + scoped.stderr
