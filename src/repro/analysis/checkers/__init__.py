@@ -12,6 +12,7 @@ from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
 from repro.analysis.checkers.rng_ownership import RngOwnershipChecker
 from repro.analysis.checkers.futures import FutureResolutionChecker
 from repro.analysis.checkers.determinism import DeterministicIterationChecker
+from repro.analysis.checkers.plans_immutability import PlanImmutabilityChecker
 
 __all__ = [
     "all_checkers",
@@ -22,6 +23,7 @@ __all__ = [
     "RngOwnershipChecker",
     "FutureResolutionChecker",
     "DeterministicIterationChecker",
+    "PlanImmutabilityChecker",
 ]
 
 
@@ -35,4 +37,5 @@ def all_checkers() -> List[Checker]:
         RngOwnershipChecker(),
         FutureResolutionChecker(),
         DeterministicIterationChecker(),
+        PlanImmutabilityChecker(),
     ]

@@ -1,0 +1,217 @@
+"""Plan immutability: compiled execution plans are frozen outside their module.
+
+:mod:`repro.ppl.inference.plans` compiles a hot trace type into an
+:class:`~repro.ppl.inference.plans.EnginePlan` — an immutable schedule of
+:class:`~repro.ppl.inference.plans.PlanStep` rows whose arrays (address
+embeddings, prior geometry, smoothing vectors) are **shared by every cohort
+that leases the plan**, concurrently across worker threads.  A single
+attribute write from a consumer would silently corrupt every other cohort on
+the same plan, and the frozen-dataclass guard only catches plain assignment
+at runtime, mid-request; ``object.__setattr__`` bypasses it entirely.
+
+This checker moves the guard to lint time and makes it module-scoped: only
+``repro/ppl/inference/plans.py`` (the compiler, which legitimately uses
+``object.__setattr__`` on not-yet-published instances) may write plan
+attributes.  Everywhere else,
+
+* ``plan-attribute-write`` — ``x.attr = ...`` / ``x.attr += ...`` where ``x``
+  is plan-typed: bound from ``EnginePlan(...)``/``PlanStep(...)``/
+  ``compile_plan(...)``, unpacked from a ``...lease(...)`` call, annotated as
+  ``EnginePlan``/``PlanStep``, iterated from ``<plan>.steps``, or simply
+  named ``plan``/``*_plan``/``plan_step`` (plans are the only objects this
+  repo spells that way — the naming convention is part of the contract).
+* ``plan-setattr-bypass`` — ``object.__setattr__(x, ...)`` / ``setattr(x,
+  ...)`` on a plan-typed ``x``: the frozen-dataclass escape hatch used
+  outside the owning module.
+
+Reads, and writes *into* leased scratch buffers (``PlanScratch`` is the
+designated mutable companion), are untouched — the rule protects exactly the
+objects the cache shares.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.core import Checker, FileContext
+from repro.analysis.findings import Finding
+
+__all__ = ["PlanImmutabilityChecker"]
+
+#: the one module allowed to construct-and-fill frozen plan objects
+_OWNING_MODULE = "repro/ppl/inference/plans.py"
+
+#: frozen plan types and the factory that returns them
+_FROZEN_TYPES = {"EnginePlan", "PlanStep"}
+_FACTORIES = {"EnginePlan", "PlanStep", "compile_plan"}
+_PLANS_MODULE = "repro.ppl.inference.plans"
+
+#: names that mean "a plan" by repo convention (PlanCache.lease unpacking,
+#: engine locals, test fixtures) — scratch/cache spellings deliberately absent
+_PLAN_NAMES = ("plan", "plan_step", "engine_plan")
+
+
+def _is_plan_name(name: str) -> bool:
+    return name in _PLAN_NAMES or name.endswith("_plan")
+
+
+class PlanImmutabilityChecker(Checker):
+    name = "plan-immutability"
+    rules = {
+        "plan-attribute-write": (
+            "EnginePlan/PlanStep attribute written outside the plans module"
+        ),
+        "plan-setattr-bypass": (
+            "object.__setattr__/setattr on a compiled plan outside the plans module"
+        ),
+    }
+
+    def relevant(self, path: str) -> bool:
+        return path.endswith(".py") and not path.replace("\\", "/").endswith(_OWNING_MODULE)
+
+    def check(self, context: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for scope in _function_scopes(context.tree):
+            plan_vars = _plan_typed_names(scope, context)
+            if not plan_vars:
+                continue
+            for node in ast.walk(scope):
+                findings.extend(self._check_node(node, plan_vars, context))
+        return findings
+
+    def _check_node(
+        self, node: ast.AST, plan_vars: Set[str], context: FileContext
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            base = _attribute_base(target)
+            if base is not None and base in plan_vars:
+                findings.append(
+                    Finding(
+                        context.path,
+                        target.lineno,
+                        "plan-attribute-write",
+                        "error",
+                        f"write to {base}.{target.attr}: compiled plans are frozen and "
+                        "shared across cohorts — only repro/ppl/inference/plans.py may "
+                        "fill plan attributes (use PlanScratch for per-lease mutable state)",
+                    )
+                )
+        if isinstance(node, ast.Call):
+            callee = context.resolver.dotted_name(node.func) or ""
+            if callee in ("object.__setattr__", "setattr", "builtins.setattr") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id in plan_vars:
+                    findings.append(
+                        Finding(
+                            context.path,
+                            node.lineno,
+                            "plan-setattr-bypass",
+                            "error",
+                            f"setattr on plan {first.id!r} bypasses the frozen-dataclass "
+                            "guard; plan objects may only be filled inside "
+                            "repro/ppl/inference/plans.py",
+                        )
+                    )
+        return findings
+
+
+def _function_scopes(tree: ast.Module) -> List[ast.AST]:
+    """Every function/method body plus the module itself, each one scope."""
+    scopes: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    return scopes
+
+
+def _attribute_base(target: ast.expr) -> Optional[str]:
+    """``x`` of a plain ``x.attr`` store target (subscripts are not plan writes)."""
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        return target.value.id
+    return None
+
+
+def _plan_typed_names(scope: ast.AST, context: FileContext) -> Set[str]:
+    """Local names in ``scope`` that are (or conventionally hold) plan objects.
+
+    The scope's *own* statements only — nested functions are separate scopes
+    in :func:`_function_scopes` and track their own bindings (a name rebound
+    inside a closure does not leak plan-ness outward).
+    """
+    names: Set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in scope.args.posonlyargs + scope.args.args + scope.args.kwonlyargs:
+            if _is_plan_name(arg.arg):
+                names.add(arg.arg)
+            elif arg.annotation is not None and _annotation_is_plan(arg.annotation, context):
+                names.add(arg.arg)
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _value_is_plan(node.value, context):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        if isinstance(node, ast.Assign) and _value_is_lease(node.value):
+            # plan, scratch = cache.lease(...): the first element is the plan
+            for target in node.targets:
+                if (
+                    isinstance(target, (ast.Tuple, ast.List))
+                    and target.elts
+                    and isinstance(target.elts[0], ast.Name)
+                ):
+                    names.add(target.elts[0].id)
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_plan(node.annotation, context):
+                names.add(node.target.id)
+        if isinstance(node, (ast.For, ast.comprehension)):
+            # for step in plan.steps: the iteration variable is a PlanStep
+            iter_node = node.iter
+            if (
+                isinstance(iter_node, ast.Attribute)
+                and iter_node.attr == "steps"
+                and isinstance(iter_node.value, ast.Name)
+                and (iter_node.value.id in names or _is_plan_name(iter_node.value.id))
+            ):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if _is_plan_name(node.id):
+                names.add(node.id)
+    return names
+
+
+def _annotation_is_plan(annotation: ast.expr, context: FileContext) -> bool:
+    dotted = context.resolver.dotted_name(annotation)
+    if dotted is None:
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            return annotation.value.rsplit(".", 1)[-1] in _FROZEN_TYPES
+        return False
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf in _FROZEN_TYPES and (
+        dotted in _FROZEN_TYPES or dotted.startswith(_PLANS_MODULE)
+    )
+
+
+def _value_is_plan(value: ast.expr, context: FileContext) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = context.resolver.dotted_name(value.func)
+    if dotted is None:
+        return False
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf in _FACTORIES and (dotted in _FACTORIES or dotted.startswith(_PLANS_MODULE))
+
+
+def _value_is_lease(value: ast.expr) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "lease"
+    )

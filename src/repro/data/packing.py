@@ -57,7 +57,7 @@ from repro.distributions import (
     TruncatedNormal,
 )
 from repro.ppl.nn.embeddings import SampleEmbedding
-from repro.ppl.nn.proposals import PriorGeometry, prior_geometry
+from repro.distributions.geometry import PriorGeometry, prior_geometry
 from repro.trace.trace import Trace
 
 __all__ = [

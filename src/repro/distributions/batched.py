@@ -50,6 +50,8 @@ __all__ = [
     "BatchedCategorical",
     "BatchedMixtureOfTruncatedNormals",
     "BatchedDistributionList",
+    "CategoricalScratch",
+    "MixtureScratch",
     "DEFAULT_CHOICE_KERNEL",
 ]
 
@@ -84,6 +86,67 @@ def _choice_cdfs(probs: np.ndarray) -> np.ndarray:
     """
     cdfs = np.cumsum(probs, axis=-1)
     return cdfs / cdfs[:, -1:]
+
+
+class CategoricalScratch:
+    """Pre-allocated ``(B_max, K)`` buffers for :meth:`BatchedCategorical.build_into`.
+
+    One scratch hosts one live batched distribution at a time — the plan
+    layer leases a scratch per cohort, so the buffers of consecutive proposal
+    steps at the same plan step are reused instead of reallocated.
+    """
+
+    __slots__ = ("batch_max", "num_categories", "probs", "log_probs", "cdfs", "norm")
+
+    def __init__(self, batch_max: int, num_categories: int) -> None:
+        self.batch_max = int(batch_max)
+        self.num_categories = int(num_categories)
+        shape = (self.batch_max, self.num_categories)
+        self.probs = np.empty(shape)
+        self.log_probs = np.empty(shape)
+        self.cdfs = np.empty(shape)
+        self.norm = np.empty((self.batch_max, 1))
+
+
+class MixtureScratch:
+    """Pre-allocated ``(B_max, K)`` buffers for
+    :meth:`BatchedMixtureOfTruncatedNormals.build_into` (see
+    :class:`CategoricalScratch` for the single-live-instance contract)."""
+
+    __slots__ = (
+        "batch_max",
+        "num_components",
+        "weights",
+        "log_weights",
+        "weight_cdfs",
+        "alphas",
+        "betas",
+        "log_zs",
+        "log_scales",
+        "neg_alphas",
+        "sf_lows",
+        "cdf_lows",
+        "norm",
+    )
+
+    def __init__(self, batch_max: int, num_components: int) -> None:
+        self.batch_max = int(batch_max)
+        self.num_components = int(num_components)
+        shape = (self.batch_max, self.num_components)
+        for name in (
+            "weights",
+            "log_weights",
+            "weight_cdfs",
+            "alphas",
+            "betas",
+            "log_zs",
+            "log_scales",
+            "neg_alphas",
+            "sf_lows",
+            "cdf_lows",
+        ):
+            setattr(self, name, np.empty(shape))
+        self.norm = np.empty((self.batch_max, 1))
 
 
 class BatchedRowView(Distribution):
@@ -297,6 +360,38 @@ class BatchedCategorical(BatchedDistribution):
         self.choice_kernel = _validated_choice_kernel(choice_kernel)
         self._cdfs = _choice_cdfs(self.probs) if self.choice_kernel == "inverse_cdf" else None
 
+    @classmethod
+    def build_into(cls, scratch: CategoricalScratch, probs: np.ndarray) -> "BatchedCategorical":
+        """Construct into pre-allocated scratch (the planned-path constructor).
+
+        ``probs`` is a ``(B, K)`` strictly-positive matrix — typically
+        ``scratch.probs[:B]`` itself, filled by the caller — with ``B`` at most
+        ``scratch.batch_max``.  Evaluates exactly the expressions ``__init__``
+        evaluates (normalise, clipped log, ``_choice_cdfs``) but with ``out=``
+        targets in the scratch buffers, so a planned proposal step allocates no
+        ``(B, K)`` arrays.  Validation is skipped: callers guarantee
+        positivity (softmax output mixed with a positive prior).  The result
+        aliases the scratch — at most one instance per scratch may be live.
+        """
+        batch = probs.shape[0]
+        self = cls.__new__(cls)
+        totals = scratch.norm[:batch]
+        np.sum(probs, axis=-1, keepdims=True, out=totals)
+        self.probs = np.divide(probs, totals, out=probs)
+        self.batch_size = int(batch)
+        self.num_categories = int(probs.shape[1])
+        log_probs = scratch.log_probs[:batch]
+        np.clip(self.probs, 1e-300, None, out=log_probs)
+        self._log_probs = np.log(log_probs, out=log_probs)
+        self.choice_kernel = DEFAULT_CHOICE_KERNEL
+        cdfs = scratch.cdfs[:batch]
+        # Same operation order as _choice_cdfs: row cumsum, then division by
+        # the final column (copied out first — the quotient overwrites it).
+        np.cumsum(self.probs, axis=-1, out=cdfs)
+        np.copyto(totals, cdfs[:, -1:])
+        self._cdfs = np.divide(cdfs, totals, out=cdfs)
+        return self
+
     def _choose(self, index: int, generator: np.random.Generator) -> int:
         if self._cdfs is not None:
             return int(np.searchsorted(self._cdfs[index], generator.random(), side="right"))
@@ -474,6 +569,71 @@ class BatchedMixtureOfTruncatedNormals(BatchedDistribution):
         self._log_scales = np.log(self.scales)
         self._sf_lows = ndtr(-self._alphas)
         self._cdf_lows = ndtr(self._alphas)
+
+    @classmethod
+    def build_into(
+        cls,
+        scratch: MixtureScratch,
+        locs: np.ndarray,
+        scales: np.ndarray,
+        weights: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        bounded: np.ndarray,
+    ) -> "BatchedMixtureOfTruncatedNormals":
+        """Construct into pre-allocated scratch (the planned-path constructor).
+
+        Same floating-point expressions as ``__init__``, with every derived
+        ``(B, K)`` array written into the scratch buffers instead of freshly
+        allocated.  Caller guarantees what ``__init__`` validates: ``locs`` is
+        ``(B, K)``, ``scales`` positive (softplus + floor), ``weights``
+        positive (exp of log-softmax, typically ``scratch.weights[:B]``
+        itself), and ``lows``/``highs`` already carry ``∓inf`` on unbounded
+        rows — exactly what :func:`repro.distributions.geometry.prior_geometry`
+        produces, making ``__init__``'s ``np.where(bounded, ...)`` a no-op.
+        ``locs``/``scales``/``lows``/``highs``/``bounded`` are referenced, not
+        copied, and must not be mutated while the instance is live; at most
+        one instance per scratch may be live.
+        """
+        batch = locs.shape[0]
+        self = cls.__new__(cls)
+        self.locs = locs
+        self.scales = scales
+        totals = scratch.norm[:batch]
+        np.sum(weights, axis=-1, keepdims=True, out=totals)
+        self.weights = np.divide(weights, totals, out=weights)
+        log_weights = scratch.log_weights[:batch]
+        np.clip(self.weights, 1e-300, None, out=log_weights)
+        self._log_weights = np.log(log_weights, out=log_weights)
+        self.batch_size = int(batch)
+        self.num_components = int(locs.shape[1])
+        self.choice_kernel = DEFAULT_CHOICE_KERNEL
+        cdfs = scratch.weight_cdfs[:batch]
+        # _choice_cdfs' operation order with the final column copied out
+        # before the in-place division overwrites it.
+        np.cumsum(self.weights, axis=-1, out=cdfs)
+        np.copyto(totals, cdfs[:, -1:])
+        self._weight_cdfs = np.divide(cdfs, totals, out=cdfs)
+        self.lows = lows
+        self.highs = highs
+        self.bounded = bounded
+        alphas = scratch.alphas[:batch]
+        betas = scratch.betas[:batch]
+        with np.errstate(invalid="ignore"):
+            np.subtract(lows[:, None], locs, out=alphas)
+            np.divide(alphas, scales, out=alphas)
+            np.subtract(highs[:, None], locs, out=betas)
+            np.divide(betas, scales, out=betas)
+        self._alphas = alphas
+        self._betas = betas
+        zs, self._degenerate = stable_truncation_z(alphas, betas)
+        self._zs = zs
+        self._log_zs = np.log(zs, out=scratch.log_zs[:batch])
+        self._log_scales = np.log(scales, out=scratch.log_scales[:batch])
+        neg_alphas = np.negative(alphas, out=scratch.neg_alphas[:batch])
+        self._sf_lows = ndtr(neg_alphas, out=scratch.sf_lows[:batch])
+        self._cdf_lows = ndtr(alphas, out=scratch.cdf_lows[:batch])
+        return self
 
     # --------------------------------------------------------------- sampling
     def _sample_component(self, index: int, component: int, generator: np.random.Generator):

@@ -8,6 +8,7 @@ from repro.ppl.inference.batched import (
     mixed_batched_importance_sampling,
     per_trace_rngs,
 )
+from repro.ppl.inference.plans import PlanCache
 from repro.ppl.inference.importance_sampling import importance_sampling as run_importance_sampling
 from repro.ppl.inference.random_walk_metropolis import RandomWalkMetropolis
 from repro.ppl.inference.inference_compilation import InferenceCompilation, TrainingHistory
@@ -23,6 +24,7 @@ __all__ = [
     "batched_importance_sampling",
     "mixed_batched_importance_sampling",
     "TraceJob",
+    "PlanCache",
     "per_trace_rngs",
     "diagnostics",
     "importance_sampling",

@@ -52,7 +52,10 @@ __all__ = [
     "per_trace_rngs",
     "resolve_observation_array",
     "TraceJob",
+    "ENGINE_STAT_KEYS",
     "new_engine_stats",
+    "merge_engine_stats",
+    "merge_session_stats",
     "form_log_weights",
     "run_mixed_cohort",
     "execute_trace_jobs",
@@ -278,23 +281,78 @@ def _drive_cohort(model, session, slot_observations, rngs, stats) -> List[Trace]
     for error in errors:
         if error is not None:
             raise error
-    stats["num_proposal_steps"] += session.num_steps
-    stats["num_fallbacks"] += session.num_fallbacks
-    stats["num_rounds"] += session.num_rounds
-    stats["num_batched_steps"] += session.num_batched_steps
-    stats["num_divergent_rounds"] += session.num_divergent_rounds
-    stats["num_observation_embeddings"] += session.num_observation_embeddings
+    merge_session_stats(stats, session)
     return traces  # type: ignore[return-value]
 
 
+def _leased_session(
+    network, rngs, stats, plan_cache, observation=None, observations=None, batched_proposals=True
+):
+    """The cohort's session: planned when the cache predicts one, else dynamic.
+
+    Returns ``(session, plan, scratch)`` with ``plan``/``scratch`` ``None`` on
+    the dynamic path.  Plans only apply to the batched-proposal emission (the
+    legacy per-object reference path stays dynamic by construction).
+    """
+    if plan_cache is not None and batched_proposals:
+        lease = plan_cache.lease(network, len(rngs))
+        if lease is not None:
+            plan, scratch = lease
+            stats["plan_hits"] += 1
+            stats["num_planned_cohorts"] += 1
+            session = network.planned_session(
+                plan, scratch, rngs, observation=observation, observations=observations
+            )
+            return session, plan, scratch
+        stats["plan_misses"] += 1
+    if observations is not None:
+        return network.mixed_batched_session(observations), None, None
+    session = network.batched_session(
+        observation, len(rngs), batched_proposals=batched_proposals
+    )
+    return session, None, None
+
+
+def _finish_lease(plan_cache, network, session, plan, scratch, traces, stats) -> None:
+    """Post-cohort plan bookkeeping: release scratch, record divergence, observe."""
+    if plan_cache is None:
+        return
+    if plan is not None:
+        plan_cache.release(plan, scratch)
+        if session.num_plan_divergences and plan_cache.record_divergence(
+            plan, session.diverged_at
+        ):
+            stats["plan_demotions"] += 1
+    plan_cache.observe_traces(traces, network)
+
+
 def _run_cohort(
-    model, observation, network, observation_array, rngs, stats, batched_proposals=True
+    model,
+    observation,
+    network,
+    observation_array,
+    rngs,
+    stats,
+    batched_proposals=True,
+    plan_cache=None,
 ) -> List[Trace]:
     """Execute one cohort of ``len(rngs)`` guided executions in lockstep."""
-    session = network.batched_session(
-        observation_array, len(rngs), batched_proposals=batched_proposals
+    session, plan, scratch = _leased_session(
+        network,
+        rngs,
+        stats,
+        plan_cache,
+        observation=observation_array,
+        batched_proposals=batched_proposals,
     )
-    return _drive_cohort(model, session, [observation] * len(rngs), rngs, stats)
+    try:
+        traces = _drive_cohort(model, session, [observation] * len(rngs), rngs, stats)
+    except BaseException:
+        if plan_cache is not None and plan is not None:
+            plan_cache.release(plan, scratch)
+        raise
+    _finish_lease(plan_cache, network, session, plan, scratch, traces, stats)
+    return traces
 
 
 class TraceJob(NamedTuple):
@@ -313,17 +371,68 @@ class TraceJob(NamedTuple):
     rng: RandomState
 
 
+#: The one definition of the engine counter key set.  Every stat block is
+#: created from it and every merge iterates actual dict items, so adding a
+#: key here is the whole change — no hand-maintained lists at harvest or
+#: shard-merge sites to drift out of sync (the key-parity test pins this).
+ENGINE_STAT_KEYS: Tuple[str, ...] = (
+    "num_cohorts",
+    "num_proposal_steps",
+    "num_fallbacks",
+    "num_rounds",
+    "num_batched_steps",
+    "num_divergent_rounds",
+    "num_observation_embeddings",
+    "plan_hits",
+    "plan_misses",
+    "plan_demotions",
+    "num_planned_cohorts",
+    "num_planned_rounds",
+    "num_plan_divergences",
+    "num_plan_geometry_misses",
+)
+
+#: stat key -> session attribute harvested by :func:`merge_session_stats`
+_SESSION_STAT_ATTRS: Tuple[Tuple[str, str], ...] = (
+    ("num_proposal_steps", "num_steps"),
+    ("num_fallbacks", "num_fallbacks"),
+    ("num_rounds", "num_rounds"),
+    ("num_batched_steps", "num_batched_steps"),
+    ("num_divergent_rounds", "num_divergent_rounds"),
+    ("num_observation_embeddings", "num_observation_embeddings"),
+    ("num_planned_rounds", "num_planned_rounds"),
+    ("num_plan_divergences", "num_plan_divergences"),
+    ("num_plan_geometry_misses", "num_plan_geometry_misses"),
+)
+
+
 def new_engine_stats() -> Dict[str, int]:
     """A fresh counter block as attached to results via ``engine_stats``."""
-    return {
-        "num_cohorts": 0,
-        "num_proposal_steps": 0,
-        "num_fallbacks": 0,
-        "num_rounds": 0,
-        "num_batched_steps": 0,
-        "num_divergent_rounds": 0,
-        "num_observation_embeddings": 0,
-    }
+    return {key: 0 for key in ENGINE_STAT_KEYS}
+
+
+def merge_session_stats(stats: Dict[str, int], session) -> None:
+    """Harvest a finished session's counters into an engine stat block.
+
+    Counters a session kind lacks read as 0 (the sequential
+    ``ProposalSession`` has no round counters; the dynamic batched session
+    has no plan counters).
+    """
+    for key, attr in _SESSION_STAT_ATTRS:
+        stats[key] += getattr(session, attr, 0)
+
+
+def merge_engine_stats(into: Dict[str, int], stats: Dict[str, int]) -> Dict[str, int]:
+    """Accumulate one stat block into another without dropping unknown keys.
+
+    Shard merges (serving sinks, pool results, distributed gathers) must use
+    this rather than iterating a hand-copied key list: a key added to
+    :data:`ENGINE_STAT_KEYS` — or reported by a newer worker — merges through
+    unchanged instead of being silently dropped.
+    """
+    for key, value in stats.items():
+        into[key] = into.get(key, 0) + value
+    return into
 
 
 def resolve_observation_array(network, observation: Dict[str, Any], observe_key: Optional[str] = None):
@@ -347,14 +456,18 @@ def resolve_observation_array(network, observation: Dict[str, Any], observe_key:
     return np.asarray(observation[key], dtype=float)
 
 
-def run_mixed_cohort(model, jobs: Sequence[TraceJob], network, stats: Dict[str, int]) -> List[Trace]:
+def run_mixed_cohort(
+    model, jobs: Sequence[TraceJob], network, stats: Dict[str, int], plan_cache=None
+) -> List[Trace]:
     """Execute one lockstep cohort whose slots may condition on different observations.
 
     This is the serving subsystem's inner loop: ``jobs`` typically mixes trace
     jobs from several concurrent requests.  With a network, the cohort runs
     through :meth:`InferenceNetwork.mixed_batched_session` (one embedding per
     distinct observation, one batched LSTM step per address group); without
-    one, every job draws from the prior (likelihood weighting).
+    one, every job draws from the prior (likelihood weighting).  With a
+    ``plan_cache``, hot trace types run the compiled planned fast path
+    (:mod:`repro.ppl.inference.plans`) with a mid-cohort dynamic fallback.
     """
     stats["num_cohorts"] += 1
     if network is None:
@@ -374,11 +487,26 @@ def run_mixed_cohort(model, jobs: Sequence[TraceJob], network, stats: Dict[str, 
                 _run_sequential(model, job.observation, network, job.observation_array, [job.rng], stats)
             )
         return traces
-    session = network.mixed_batched_session([job.observation_array for job in jobs])
-    return _drive_cohort(model, session, [job.observation for job in jobs], rngs, stats)
+    session, plan, scratch = _leased_session(
+        network,
+        rngs,
+        stats,
+        plan_cache,
+        observations=[job.observation_array for job in jobs],
+    )
+    try:
+        traces = _drive_cohort(model, session, [job.observation for job in jobs], rngs, stats)
+    except BaseException:
+        if plan_cache is not None and plan is not None:
+            plan_cache.release(plan, scratch)
+        raise
+    _finish_lease(plan_cache, network, session, plan, scratch, traces, stats)
+    return traces
 
 
-def execute_trace_jobs(model, jobs: Sequence[TraceJob], network) -> Tuple[List[Trace], Dict[str, int]]:
+def execute_trace_jobs(
+    model, jobs: Sequence[TraceJob], network, plan_cache=None
+) -> Tuple[List[Trace], Dict[str, int]]:
     """Run one shard of trace jobs and return ``(traces, engine_stats)``.
 
     This is the engine entry point of an out-of-process cohort worker: jobs
@@ -392,7 +520,7 @@ def execute_trace_jobs(model, jobs: Sequence[TraceJob], network) -> Tuple[List[T
     process.
     """
     stats = new_engine_stats()
-    traces = run_mixed_cohort(model, jobs, network, stats)
+    traces = run_mixed_cohort(model, jobs, network, stats, plan_cache=plan_cache)
     return traces, stats
 
 
@@ -432,6 +560,7 @@ def mixed_batched_importance_sampling(
     network=None,
     observe_key: Optional[str] = None,
     rng: Optional[RandomState] = None,
+    plan_cache=None,
 ) -> List[Empirical]:
     """Run several independent posterior requests through shared cohorts.
 
@@ -467,7 +596,9 @@ def mixed_batched_importance_sampling(
     traces_by_request: Dict[int, List[Trace]] = {index: [] for index in range(len(requests))}
     for start in range(0, len(jobs), batch_size):
         cohort = jobs[start : start + batch_size]
-        for job, trace in zip(cohort, run_mixed_cohort(model, cohort, network, stats)):
+        for job, trace in zip(
+            cohort, run_mixed_cohort(model, cohort, network, stats, plan_cache=plan_cache)
+        ):
             traces_by_request[job.request_index].append(trace)
 
     results: List[Empirical] = []
@@ -494,9 +625,7 @@ def _run_sequential(model, observation, network, observation_array, rngs, stats)
             )
         )
         traces.append(model.get_trace(controller, observed_values=observation, rng=rng))
-        stats["num_proposal_steps"] += session.num_steps
-        stats["num_fallbacks"] += session.num_fallbacks
-        stats["num_observation_embeddings"] += 1
+        merge_session_stats(stats, session)
     return traces
 
 
@@ -510,6 +639,7 @@ def batched_importance_sampling(
     rng: Optional[RandomState] = None,
     trace_callback: Optional[Callable[[Trace, float], None]] = None,
     batched_proposals: bool = True,
+    plan_cache=None,
 ) -> Empirical:
     """Run importance sampling with cohorts of lockstep guided executions.
 
@@ -559,6 +689,7 @@ def batched_importance_sampling(
         rng=rng or get_rng(),
         trace_callback=trace_callback,
         batched_proposals=batched_proposals,
+        plan_cache=plan_cache,
     )
 
 
@@ -572,6 +703,7 @@ def batched_importance_sampling_seeded(
     rng: Optional[RandomState] = None,
     trace_callback: Optional[Callable[[Trace, float], None]] = None,
     batched_proposals: bool = True,
+    plan_cache=None,
 ) -> Empirical:
     """The seeded core of :func:`batched_importance_sampling`.
 
@@ -620,6 +752,7 @@ def batched_importance_sampling_seeded(
                     cohort_rngs,
                     stats,
                     batched_proposals=batched_proposals,
+                    plan_cache=plan_cache,
                 )
             )
 

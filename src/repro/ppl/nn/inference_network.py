@@ -366,6 +366,23 @@ class InferenceNetwork(Module):
             self, observation, batch_size, batched_proposals=batched_proposals
         )
 
+    def planned_session(
+        self, plan, scratch, rngs, observation=None, observations=None
+    ) -> "BatchedProposalSession":
+        """Start a lockstep session driven by a compiled execution plan.
+
+        Built by the engine when the :class:`repro.ppl.inference.plans.PlanCache`
+        predicts the cohort's trace type: conforming cohorts run the plan's
+        precompiled fast path, anything else falls back to the dynamic rounds
+        of :class:`BatchedProposalSession` mid-cohort.  (Imported lazily:
+        the plans module builds on this one.)
+        """
+        from repro.ppl.inference.plans import PlannedProposalSession
+
+        return PlannedProposalSession(
+            self, plan, scratch, rngs, observation=observation, observations=observations
+        )
+
     def mixed_batched_session(self, observations: Sequence[Any]) -> "BatchedProposalSession":
         """Start a lockstep session whose slots condition on *different* observations.
 
@@ -438,6 +455,9 @@ class ProposalSession:
         self._prev_prior: Optional[Distribution] = None
         self.num_steps = 0
         self.num_fallbacks = 0
+        #: a sequential session always pays exactly one embedding forward
+        #: (harvested by merge_session_stats like the batched sessions')
+        self.num_observation_embeddings = 1
 
     def _previous_embedding(self, previous_value) -> Tensor:
         if (

@@ -28,7 +28,6 @@ Each proposal layer offers two views of the same parameterisation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
@@ -46,12 +45,20 @@ from repro.distributions import (
     Mixture,
     Normal,
     TruncatedNormal,
-    Uniform,
+)
+from repro.distributions.geometry import (
+    MIN_PROPOSAL_SCALE as _MIN_SCALE,
+    PriorGeometry,
+    prior_bounds,
+    prior_geometry,
 )
 from repro.tensor import functional as F
 from repro.tensor.nn import Linear, Module, ReLU, Sequential
 from repro.tensor.tensor import Tensor
 
+# PriorGeometry/prior_geometry moved to repro.distributions.geometry (one
+# definition shared with data/packing.py and ppl/inference/plans.py); they
+# stay re-exported here because this module was their historical home.
 __all__ = [
     "PriorGeometry",
     "ProposalLayer",
@@ -60,92 +67,6 @@ __all__ = [
     "make_proposal_layer",
     "prior_geometry",
 ]
-
-_MIN_SCALE = 1e-3
-
-
-@dataclass(frozen=True, eq=False)
-class PriorGeometry:
-    """Per-row prior geometry of a same-address group, as ``(B,)`` arrays.
-
-    Everything :class:`ProposalNormalMixture` needs to know about the B priors
-    at one address: support bounds (``-inf``/``+inf`` on unbounded rows), the
-    location/scale used to rescale the NN's normalised outputs, and the
-    bounded flags.  Extracting it is the only per-prior Python loop in the
-    continuous training loss, so the packed-minibatch pipeline precomputes it
-    once per (dataset, step) and reuses it every iteration.
-
-    The derived columns/flags the differentiable density consumes are cached
-    **lazily**: the inference emission path also routes through a geometry
-    (via ``_transformed_parameters``) but never reads them, and it must not
-    pay training-only allocations per proposal step.  A pack's geometry
-    builds each once and keeps it for every epoch.
-    """
-
-    lows: np.ndarray
-    highs: np.ndarray
-    locs: np.ndarray
-    scales: np.ndarray
-    bounded: np.ndarray
-
-    def _cached(self, name: str, build):
-        if name not in self.__dict__:
-            object.__setattr__(self, name, build())
-        return self.__dict__[name]
-
-    @property
-    def locs_column(self) -> np.ndarray:
-        return self._cached("_locs_column", lambda: self.locs.reshape(-1, 1))
-
-    @property
-    def scales_column(self) -> np.ndarray:
-        return self._cached("_scales_column", lambda: self.scales.reshape(-1, 1))
-
-    @property
-    def finite_lows_column(self) -> np.ndarray:
-        return self._cached(
-            "_finite_lows_column",
-            lambda: np.where(np.isfinite(self.lows), self.lows, 0.0).reshape(-1, 1),
-        )
-
-    @property
-    def finite_highs_column(self) -> np.ndarray:
-        return self._cached(
-            "_finite_highs_column",
-            lambda: np.where(np.isfinite(self.highs), self.highs, 0.0).reshape(-1, 1),
-        )
-
-    @property
-    def bounded_mask_column(self) -> np.ndarray:
-        return self._cached(
-            "_bounded_mask_column", lambda: self.bounded.astype(float).reshape(-1, 1)
-        )
-
-    @property
-    def any_bounded(self) -> bool:
-        return self._cached("_any_bounded", lambda: bool(np.any(self.bounded)))
-
-    @property
-    def all_bounded(self) -> bool:
-        return self._cached("_all_bounded", lambda: bool(np.all(self.bounded)))
-
-
-def prior_geometry(priors: Sequence[Distribution]) -> PriorGeometry:
-    """Extract :class:`PriorGeometry` arrays from per-trace prior objects."""
-    batch = len(priors)
-    lows = np.empty(batch)
-    highs = np.empty(batch)
-    locs = np.empty(batch)
-    scales = np.empty(batch)
-    bounded = np.zeros(batch, dtype=bool)
-    for i, prior in enumerate(priors):
-        low, high, loc, scale = ProposalNormalMixture._prior_bounds(prior)
-        bounded[i] = low is not None
-        lows[i] = low if low is not None else -np.inf
-        highs[i] = high if high is not None else np.inf
-        locs[i] = loc
-        scales[i] = max(scale, _MIN_SCALE)
-    return PriorGeometry(lows=lows, highs=highs, locs=locs, scales=scales, bounded=bounded)
 
 
 class ProposalLayer(Module):
@@ -223,18 +144,9 @@ class ProposalNormalMixture(ProposalLayer):
         logits = self.head_logits(features)        # (B, K)
         return raw_means, raw_scales, logits
 
-    @staticmethod
-    def _prior_bounds(prior: Distribution):
-        """Return (low, high, loc, scale) describing the prior's geometry."""
-        if isinstance(prior, Uniform):
-            return prior.low, prior.high, 0.5 * (prior.low + prior.high), (prior.high - prior.low)
-        if isinstance(prior, TruncatedNormal):
-            return prior.low, prior.high, prior.loc, prior.scale
-        loc = float(np.mean(np.atleast_1d(prior.mean)))
-        scale = float(np.sqrt(np.mean(np.atleast_1d(prior.variance))))
-        if not np.isfinite(scale) or scale <= 0:
-            scale = 1.0
-        return None, None, loc, scale
+    # Kept as a delegating alias: the geometry derivation lives in
+    # repro.distributions.geometry so packing and plan compilation share it.
+    _prior_bounds = staticmethod(prior_bounds)
 
     def _transformed_parameters(self, hidden: Tensor, priors: Sequence[Distribution]):
         """Map raw NN outputs to per-batch-element (means, scales, log_weights)."""

@@ -60,7 +60,9 @@ def _picklable_error(error: BaseException) -> BaseException:
         return ServingError(f"{type(error).__name__}: {error}")
 
 
-def _worker_main(worker_index: int, task_queue, result_queue, model, network) -> None:
+def _worker_main(
+    worker_index: int, task_queue, result_queue, model, network, use_plans: bool = False
+) -> None:
     """Loop of one persistent worker process.
 
     Messages in: ``(shard_id, [TraceJob, ...])`` or ``None`` (shutdown).
@@ -69,9 +71,21 @@ def _worker_main(worker_index: int, task_queue, result_queue, model, network) ->
     matters: ``multiprocessing.Queue`` serialises in a feeder thread, so an
     unpicklable trace would otherwise vanish asynchronously and strand the
     shard; serialising here surfaces the failure as an explicit error reply.
+
+    With ``use_plans`` each worker process holds its own
+    :class:`repro.ppl.inference.plans.PlanCache`: plans carry numpy scratch
+    buffers that cannot be shared across processes, and ``refresh()`` replaces
+    the worker wholesale on retraining, so a per-process cache never outlives
+    the network generation it compiled against.  Plan hit/miss/demotion
+    counters travel back inside each shard's engine stats.
     """
     from repro.ppl.inference.batched import execute_trace_jobs
 
+    plan_cache = None
+    if use_plans and network is not None:
+        from repro.ppl.inference.plans import PlanCache
+
+        plan_cache = PlanCache()
     while True:
         item = task_queue.get()
         if item is None:
@@ -79,7 +93,7 @@ def _worker_main(worker_index: int, task_queue, result_queue, model, network) ->
         shard_id, jobs = item
         started = time.perf_counter()
         try:
-            traces, stats = execute_trace_jobs(model, jobs, network)
+            traces, stats = execute_trace_jobs(model, jobs, network, plan_cache=plan_cache)
             payload = pickle.dumps((traces, stats))
         except BaseException as error:  # noqa: BLE001 - shipped to the parent
             result_queue.put((shard_id, worker_index, None, 0.0, _picklable_error(error)))
@@ -137,6 +151,7 @@ class ProcessCohortPool:
         max_inflight: Optional[int] = None,
         health_interval: float = 0.05,
         on_stats: Optional[Callable[[Dict[str, int], float], None]] = None,
+        use_plans: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -149,6 +164,7 @@ class ProcessCohortPool:
         self.max_inflight = int(max_inflight) if max_inflight is not None else 2 * self.num_workers
         self.health_interval = float(health_interval)
         self.on_stats = on_stats
+        self.use_plans = bool(use_plans)
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -230,7 +246,7 @@ class ProcessCohortPool:
         task_queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(index, task_queue, self._result_queue, self.model, self.network),
+            args=(index, task_queue, self._result_queue, self.model, self.network, self.use_plans),
             name=f"cohort-proc-{index}",
             daemon=True,
         )

@@ -43,11 +43,13 @@ from repro.ppl.model import RemoteModel
 from repro.ppl.inference.batched import (
     TraceJob,
     form_log_weights,
+    merge_engine_stats,
     new_engine_stats,
     per_trace_rngs,
     resolve_observation_array,
     run_mixed_cohort,
 )
+from repro.ppl.inference.plans import PlanCache
 from repro.serving.cache import PosteriorCache, observation_fingerprint
 from repro.serving.metrics import ServingMetrics
 from repro.serving.procpool import ProcessCohortPool
@@ -104,6 +106,15 @@ class PosteriorService:
         Process-backend tuning: the multiprocessing start method (default
         ``fork`` where available, so models/networks need not pickle) and how
         many times a crashed worker's shard is requeued before failing loudly.
+    use_plans:
+        Enable compiled trace-type execution plans
+        (:class:`repro.ppl.inference.plans.PlanCache`): hot trace types are
+        compiled once into pre-allocated cohort plans and re-served from the
+        cache, with dynamic fallback on divergence.  The thread backend shares
+        one cache across workers; the process backend gives each worker
+        process its own (plans hold numpy scratch that must not cross process
+        boundaries).  Planned and dynamic execution are bit-identical, so this
+        only changes speed, never posteriors.
     """
 
     def __init__(
@@ -124,6 +135,7 @@ class PosteriorService:
         rng: Optional[RandomState] = None,
         mp_start_method: Optional[str] = None,
         max_requeues: int = 1,
+        use_plans: bool = True,
         name: str = "posterior-service",
     ) -> None:
         if queue_capacity < 1:
@@ -149,6 +161,12 @@ class PosteriorService:
         if isinstance(model, RemoteModel):
             num_workers = 1
             backend = "thread"
+        self.use_plans = bool(use_plans) and network is not None
+        # Thread workers share the parent's network object, so one plan cache
+        # (its own lock makes it thread-safe) serves every worker; process
+        # workers each build their own cache in _worker_main — numpy scratch
+        # buffers cannot be shared across the process boundary.
+        self._plan_cache = PlanCache() if self.use_plans and backend == "thread" else None
         if backend == "process":
             self.workers = ProcessCohortPool(
                 model,
@@ -157,6 +175,7 @@ class PosteriorService:
                 start_method=mp_start_method,
                 max_requeues=max_requeues,
                 on_stats=self._merge_engine_stats,
+                use_plans=self.use_plans,
             )
         else:
             self.workers = CohortWorkerPool(self._execute_cohort, num_workers=num_workers)
@@ -477,16 +496,22 @@ class PosteriorService:
         """Thread-worker hook: run one lockstep cohort through the mixed engine."""
         stats = new_engine_stats()
         started = time.perf_counter()
-        traces = run_mixed_cohort(self.model, jobs, self.network, stats)
+        traces = run_mixed_cohort(
+            self.model, jobs, self.network, stats, plan_cache=self._plan_cache
+        )
         self._merge_engine_stats(stats, time.perf_counter() - started)
         return traces
 
     def _merge_engine_stats(self, stats: Dict[str, int], elapsed: float) -> None:
-        """Fold one cohort's engine counters (local or worker-process) in."""
+        """Fold one cohort's engine counters (local or worker-process) in.
+
+        ``merge_engine_stats`` tolerates keys this service generation does not
+        know about — a worker process running newer engine code must not
+        KeyError the collector thread.
+        """
         self.metrics.record_phase("cohort_execution", elapsed)
         with self._stats_lock:
-            for stat_name, value in stats.items():
-                self._engine_stats[stat_name] += value
+            merge_engine_stats(self._engine_stats, stats)
 
     def _on_cohort_done(self, entries: List[CohortEntry], traces, error) -> None:
         """Worker completion hook: route traces (or the failure) to requests."""
@@ -576,6 +601,11 @@ class PosteriorService:
 
     def _on_network_updated(self) -> None:
         self.invalidate_cache()
+        # Compiled plans bake network parameters (address-embedding rows) and
+        # a network version into their buffers: drop them all eagerly rather
+        # than waiting for the next lease's version check.
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
         # Worker processes hold their own network copy; roll the generation
         # so new cohorts run on the retrained parameters (no-op for threads,
         # which share the parent's network object).
@@ -593,4 +623,6 @@ class PosteriorService:
         snapshot["workers"] = self.workers.stats()
         with self._stats_lock:
             snapshot["engine"] = dict(self._engine_stats)
+        if self._plan_cache is not None:
+            snapshot["plans"] = self._plan_cache.stats()
         return snapshot

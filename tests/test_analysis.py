@@ -1196,6 +1196,85 @@ class TestDeterministicIteration:
         assert "det-set-iteration" in rules_of(findings)
 
 
+# --------------------------------------------------------- plan immutability
+class TestPlanImmutability:
+    def test_leased_plan_attribute_write_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/inference/engine.py",
+            """
+            def run(cache, network):
+                plan, scratch = cache.lease(network, 8)
+                plan.bucket_size = 16
+            """,
+        )
+        assert "plan-attribute-write" in rules_of(findings)
+
+    def test_compile_plan_binding_tracked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/serving/svc.py",
+            """
+            from repro.ppl.inference.plans import compile_plan
+
+            def warm(network, trace_type, exemplar, flags):
+                compiled = compile_plan(network, trace_type, exemplar, flags, 8)
+                compiled.network_version = 0
+            """,
+        )
+        assert "plan-attribute-write" in rules_of(findings)
+
+    def test_setattr_bypass_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/inference/engine.py",
+            """
+            def patch(plan):
+                object.__setattr__(plan, "steps", ())
+            """,
+        )
+        assert "plan-setattr-bypass" in rules_of(findings)
+
+    def test_plan_step_iteration_variable_tracked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/inference/engine.py",
+            """
+            def mutate(plan):
+                for step in plan.steps:
+                    step.kind = "fallback"
+            """,
+        )
+        assert "plan-attribute-write" in rules_of(findings)
+
+    def test_owning_module_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/inference/plans.py",
+            """
+            def fill(plan):
+                object.__setattr__(plan, "steps", ())
+                plan.bucket_size = 4
+            """,
+        )
+        assert "plan-attribute-write" not in rules_of(findings)
+        assert "plan-setattr-bypass" not in rules_of(findings)
+
+    def test_scratch_writes_and_plan_reads_pass(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/ppl/inference/engine.py",
+            """
+            def run(cache, network, rows):
+                plan, scratch = cache.lease(network, 8)
+                scratch.cursor = 0
+                scratch.lstm_input[:4] = rows
+                return plan.bucket_size
+            """,
+        )
+        assert "plan-attribute-write" not in rules_of(findings)
+
+
 # ----------------------------------------------------------- CLI satellites
 class TestCliSatellites:
     WARNING_ONLY_TREE = """
