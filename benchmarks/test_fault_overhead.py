@@ -1,0 +1,56 @@
+"""Benchmark: fault-injection hooks must be free when injection is off.
+
+The harness's contract is that production code can leave ``fault_point`` /
+``perform`` calls inline at every failure site because the disabled path is a
+single module-global ``is None`` check.  This bench holds that to a number:
+the serving hot path (scheduler flush → worker cohort → completion) runs a
+few hook calls per cohort, so the disabled hook must stay within an order of
+magnitude of a no-op function call — not within an order of magnitude of a
+*lock acquisition*, which is what an always-locking implementation would
+cost.  An installed plan is allowed to be ~10-100x slower (it takes a lock
+and scans rules); that price is only ever paid inside chaos tests.
+"""
+
+import time
+
+from repro.testing import FaultPlan, FaultRule, activate, fault_point
+
+from benchmarks.conftest import print_table
+
+CALLS = 200_000
+
+
+def _time_calls(fn, calls=CALLS):
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - start) / calls
+
+
+def _noop():
+    return None
+
+
+class TestDisabledHookOverhead:
+    def test_disabled_fault_point_is_near_noop(self):
+        disabled = _time_calls(lambda: fault_point("bench.site", shard=1))
+        baseline = _time_calls(_noop)
+        plan = FaultPlan(
+            [FaultRule(site="other.site", kind="error", at=10**9)], seed=0
+        )
+        with activate(plan):
+            enabled = _time_calls(lambda: fault_point("bench.site", shard=1))
+        print_table(
+            "fault_point overhead per call",
+            ["variant", "ns/call"],
+            [
+                ["noop function", f"{baseline * 1e9:.1f}"],
+                ["disabled hook", f"{disabled * 1e9:.1f}"],
+                ["installed plan (miss)", f"{enabled * 1e9:.1f}"],
+            ],
+        )
+        # The disabled hook does one global read + None check on top of the
+        # call itself: require it within 10x of a no-op call (generous for
+        # shared CI runners), and three orders of magnitude under 1µs.
+        assert disabled < baseline * 10 + 1e-7
+        assert disabled < 1e-6

@@ -74,6 +74,35 @@ class RandomState:
         child._gen = np.random.default_rng(seq)
         return child
 
+    def snapshot(self) -> dict:
+        """Portable snapshot of this stream: the seed identity plus generator state.
+
+        Both halves matter for exact restoration: the bit-generator state
+        replays the draw sequence, and ``seed`` is the entropy base
+        :meth:`spawn` mixes into child streams — restoring state alone would
+        reproduce draws but derive different children.  The snapshot is plain
+        ints/strings/tuples, so it JSON-serialises (the capture/replay file
+        format relies on this).
+        """
+        return {"seed": self._seed, "state": self._gen.bit_generator.state}
+
+    @classmethod
+    def restore(cls, snapshot: dict, name: str = "restored") -> "RandomState":
+        """Rebuild a stream from a :meth:`snapshot` (bit-identical draws).
+
+        The one sanctioned way to resurrect a serialized stream — callers
+        (capture replay, retry rewind) must not construct generators
+        themselves.  Tolerates JSON round-trips: a list-form seed is a tuple
+        seed that went through JSON.
+        """
+        seed = snapshot["seed"]
+        if isinstance(seed, list):
+            seed = tuple(seed)
+        state = cls(seed=None, name=name)
+        state._seed = seed
+        state._gen.bit_generator.state = snapshot["state"]
+        return state
+
     # Convenience passthroughs --------------------------------------------------
     def uniform(self, low=0.0, high=1.0, size=None):
         return self._gen.uniform(low, high, size)

@@ -52,6 +52,7 @@ __all__ = [
     "per_trace_rngs",
     "resolve_observation_array",
     "TraceJob",
+    "LockstepStallError",
     "ENGINE_STAT_KEYS",
     "new_engine_stats",
     "merge_engine_stats",
@@ -60,6 +61,18 @@ __all__ = [
     "run_mixed_cohort",
     "execute_trace_jobs",
 ]
+
+
+class LockstepStallError(RuntimeError):
+    """A lockstep round made no progress for the coordinator's stall budget.
+
+    Raised by the cohort driver instead of waiting forever when live workers
+    stop posting round messages (a wedged simulator, a deadlocked model, a
+    stuck remote call).  The message names the slots still owed a message and
+    the slots blocked awaiting a proposal, so the offender is identifiable
+    from the error alone.  The driver's poison path then releases every
+    blocked worker before re-raising, so the failure is loud but clean.
+    """
 
 
 def per_trace_rngs(rng: RandomState, num_traces: int) -> List[RandomState]:
@@ -100,9 +113,21 @@ class _LockstepCoordinator:
     largest cost of the whole engine — coordination, not NN compute.
     """
 
-    def __init__(self, session, num_workers: int) -> None:
+    def __init__(
+        self,
+        session,
+        num_workers: int,
+        stall_timeout: float = 60.0,
+        poll_interval: float = 5.0,
+    ) -> None:
         self.session = session
         self.num_workers = num_workers
+        #: seconds of zero round progress tolerated before the driver raises
+        #: :class:`LockstepStallError` (liveness re-checks happen every
+        #: ``poll_interval`` regardless; this only bounds how long "no new
+        #: message and every laggard thread still alive" may persist)
+        self.stall_timeout = float(stall_timeout)
+        self.poll_interval = float(poll_interval)
         self._lock = threading.Lock()
         #: inbox of the current round: (kind, slot, address, prior, prev_value)
         self._messages: List[Tuple[str, int, Any, Any, Any]] = []
@@ -145,13 +170,21 @@ class _LockstepCoordinator:
         ``threads`` enables a liveness check: a worker that died without ever
         reaching its ``finally`` (interpreter-level failure) is treated as
         done instead of deadlocking the round.
+
+        A round that makes *no* progress — no new message posted, every
+        laggard thread still alive — for ``stall_timeout`` cumulative seconds
+        raises :class:`LockstepStallError` naming the stuck slots, instead of
+        silently re-waiting forever (a wedged simulator used to hang the
+        whole cohort here).
         """
+        stalled_for = 0.0
+        last_posted = -1
         while True:
-            if self._round_ready.wait(timeout=5.0):
+            if self._round_ready.wait(timeout=self.poll_interval):
                 break
-            if threads is not None:
-                with self._lock:
-                    posted = {message[1] for message in self._messages}
+            with self._lock:
+                posted = {message[1] for message in self._messages}
+                if threads is not None:
                     dead = {
                         slot
                         for slot in outstanding
@@ -162,6 +195,27 @@ class _LockstepCoordinator:
                         self._expected = len(outstanding)
                         if len(self._messages) >= self._expected:
                             break
+                if len(posted) > last_posted:
+                    last_posted = len(posted)
+                    stalled_for = 0.0
+                else:
+                    stalled_for += self.poll_interval
+                if stalled_for >= self.stall_timeout:
+                    missing = sorted(outstanding - posted)
+                    status = {
+                        slot: (
+                            "alive"
+                            if threads is not None and threads[slot].is_alive()
+                            else "no-thread-info" if threads is None else "dead"
+                        )
+                        for slot in missing
+                    }
+                    raise LockstepStallError(
+                        f"lockstep round stalled for {stalled_for:.0f}s: "
+                        f"{len(posted)}/{self._expected} messages posted, "
+                        f"waiting on slots {status} "
+                        f"(outstanding={sorted(outstanding)})"
+                    )
         with self._lock:
             messages = self._messages
             self._messages = []
@@ -275,9 +329,15 @@ def _drive_cohort(model, session, slot_observations, rngs, stats) -> List[Trace]
     ]
     for thread in threads:
         thread.start()
-    coordinator.serve(threads)
-    for thread in threads:
-        thread.join()
+    try:
+        coordinator.serve(threads)
+    finally:
+        # Join on *every* exit — the poison path has already released any
+        # blocked worker, so a bounded join collects them; a worker that is
+        # still wedged (the stall the coordinator just diagnosed) is a daemon
+        # thread and must not also hang the driver here.
+        for thread in threads:
+            thread.join(timeout=5.0)
     for error in errors:
         if error is not None:
             raise error

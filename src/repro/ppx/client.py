@@ -49,6 +49,14 @@ class SimulatorClient:
     system_name / model_name:
         Identification strings sent in the handshake (e.g. ``"sherpa"``,
         ``"tau-decay"``).
+    connect:
+        Optional zero-argument factory returning a fresh connected
+        :class:`~repro.ppx.transport.Transport` (e.g. ``lambda:
+        connect_tcp(host, port)``).  When given, a dropped connection inside
+        :meth:`serve_forever` is survived: the old transport is closed, the
+        factory dials a new one, the handshake is re-run, and serving
+        resumes — up to ``max_reconnects`` times.  Without it, connection
+        loss propagates to the caller as before.
     """
 
     def __init__(
@@ -57,11 +65,16 @@ class SimulatorClient:
         simulator: Callable[["SimulatorClient", Any], Any],
         system_name: str = "repro-simulator",
         model_name: str = "model",
+        connect: Optional[Callable[[], Transport]] = None,
+        max_reconnects: int = 3,
     ) -> None:
         self.transport = transport
         self.simulator = simulator
         self.system_name = system_name
         self.model_name = model_name
+        self.connect = connect
+        self.max_reconnects = int(max_reconnects)
+        self.reconnects = 0
         self.address_builder = AddressBuilder()
         self._running = False
 
@@ -126,27 +139,57 @@ class SimulatorClient:
             raise RuntimeError("PPX handshake rejected by the PPL side")
 
     def serve_forever(self) -> None:
-        """Handshake, then answer Run requests until a shutdown arrives."""
+        """Handshake, then answer Run requests until a shutdown arrives.
+
+        With a ``connect`` factory, a connection drop (EOF, reset, injected
+        disconnect) is handled by dialing a fresh transport and re-running the
+        handshake; any half-served Run is abandoned — the PPL side owns retry
+        of the trace, this side only restores the session.
+        """
         self.handshake()
         self._running = True
         while self._running:
-            message = self.transport.receive()
-            if isinstance(message, Run):
-                observation = message.observation
-                if isinstance(observation, list):
-                    observation = np.asarray(observation)
-                try:
-                    result = self.simulator(self, observation)
-                    self.transport.send(RunResult(result=_to_wire(result), success=True))
-                except Exception as exc:  # report simulator failures to the PPL
-                    self.transport.send(RunResult(result=None, success=False, error=str(exc)))
-            elif isinstance(message, Reset):
-                self.address_builder.clear_cache()
-            elif isinstance(message, ShutdownRequest):
-                self.transport.send(ShutdownResult())
-                self._running = False
+            try:
+                self._serve_one()
+            except (ConnectionError, OSError):
+                if not self._running:
+                    return
+                if self.connect is None or self.reconnects >= self.max_reconnects:
+                    raise
+                self.reconnects += 1
+                self._reconnect()
+
+    def _reconnect(self) -> None:
+        try:
+            self.transport.close()
+        except Exception:
+            pass
+        assert self.connect is not None
+        self.transport = self.connect()
+        self.handshake()
+
+    def _serve_one(self) -> None:
+        """Receive and answer a single PPX message."""
+        message = self.transport.receive()
+        if isinstance(message, Run):
+            observation = message.observation
+            if isinstance(observation, list):
+                observation = np.asarray(observation)
+            try:
+                result = self.simulator(self, observation)
+            except ConnectionError:
+                raise  # a dropped socket mid-trace is a transport event, not a model error
+            except Exception as exc:  # report simulator failures to the PPL
+                self.transport.send(RunResult(result=None, success=False, error=str(exc)))
             else:
-                raise RuntimeError(f"unexpected PPX message {type(message).__name__}")
+                self.transport.send(RunResult(result=_to_wire(result), success=True))
+        elif isinstance(message, Reset):
+            self.address_builder.clear_cache()
+        elif isinstance(message, ShutdownRequest):
+            self.transport.send(ShutdownResult())
+            self._running = False
+        else:
+            raise RuntimeError(f"unexpected PPX message {type(message).__name__}")
 
     def stop(self) -> None:
         self._running = False

@@ -21,10 +21,12 @@ from __future__ import annotations
 import queue
 import socket
 import struct
+import time
 from typing import Optional, Tuple
 
 from repro.ppx.messages import Message
 from repro.ppx.serialization import decode_message, encode_message
+from repro.testing import faults
 
 __all__ = ["Transport", "QueueTransport", "SocketTransport", "make_queue_pair", "connect_tcp", "listen_tcp"]
 
@@ -81,6 +83,16 @@ class SocketTransport(Transport):
 
     def send(self, message: Message) -> None:
         data = encode_message(message)
+        # Chaos hooks: `disconnect` closes the socket mid-stream (the peer
+        # sees EOF), `garbage` ships a correctly-framed body of zeros (the
+        # peer's decode fails).  Free when no fault plan is installed.
+        action = faults.perform("transport.send", size=len(data))
+        if action is not None:
+            if action.kind == "disconnect":
+                self.close()
+                raise ConnectionError("PPX socket closed (injected disconnect)")
+            if action.kind == "garbage":
+                data = b"\x00" * len(data)
         frame = struct.pack("!I", len(data)) + data
         self._sock.sendall(frame)
         self.bytes_sent += len(frame)
@@ -97,6 +109,10 @@ class SocketTransport(Transport):
         return b"".join(chunks)
 
     def receive(self, timeout: Optional[float] = None) -> Message:
+        action = faults.perform("transport.receive")
+        if action is not None and action.kind == "disconnect":
+            self.close()
+            raise ConnectionError("PPX socket closed (injected disconnect)")
         if timeout is not None:
             self._sock.settimeout(timeout)
         header = self._recv_exact(4)
@@ -122,8 +138,42 @@ def listen_tcp(host: str = "127.0.0.1", port: int = 0) -> Tuple[socket.socket, i
     return server, server.getsockname()[1]
 
 
-def connect_tcp(host: str, port: int, timeout: float = 10.0) -> SocketTransport:
-    """Connect to a listening PPX endpoint and wrap it in a transport."""
-    sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(None)
-    return SocketTransport(sock)
+def connect_tcp(
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    *,
+    attempts: int = 5,
+    backoff: float = 0.1,
+    deadline: Optional[float] = None,
+) -> SocketTransport:
+    """Connect to a listening PPX endpoint and wrap it in a transport.
+
+    A refused connection usually means the simulator process is still booting
+    (the paper's deployment launches PPL and simulator ranks concurrently),
+    so ``ConnectionRefusedError`` is retried with doubling backoff — up to
+    ``attempts`` tries, bounded overall by ``deadline`` seconds when given.
+    Everything else (timeouts, unreachable hosts, resolution failures) fails
+    on the first attempt: those are not still-booting signatures.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    started = time.monotonic()
+    delay = max(backoff, 0.0)
+    for attempt in range(attempts):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except ConnectionRefusedError:
+            elapsed = time.monotonic() - started
+            out_of_time = deadline is not None and elapsed + delay >= deadline
+            if attempt == attempts - 1 or out_of_time:
+                raise ConnectionRefusedError(
+                    f"PPX endpoint {host}:{port} refused the connection "
+                    f"({attempt + 1} attempt(s) over {elapsed:.2f}s)"
+                ) from None
+            time.sleep(delay)
+            delay = min(delay * 2, 2.0)
+        else:
+            sock.settimeout(None)
+            return SocketTransport(sock)
+    raise ConnectionRefusedError(f"PPX endpoint {host}:{port} refused the connection")

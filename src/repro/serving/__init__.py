@@ -22,6 +22,14 @@ for free.  This package turns that observation into a service:
   simulators; crashed workers are respawned and their shards requeued.
 * :class:`ServingMetrics` — QPS, latency percentiles, cohort occupancy and
   cache hit rate, built on :mod:`repro.common.timing`.
+* :class:`ServiceResilience` — hardened failure semantics: retry with
+  jittered exponential backoff under request deadlines, a circuit breaker
+  with health probes, stale-cache serving under degradation, and graceful
+  process→thread backend demotion after crash storms.
+* :class:`RequestCapture` / :func:`replay_capture` — record every admitted
+  request (observation, seeds, admission order, model version) and replay a
+  capture deterministically: replayed posteriors are bit-identical, so any
+  failing chaos seed becomes a reproducible regression case.
 
 Because every trace job carries a child random stream that is a pure function
 of (request rng, trace index) — the same derivation the one-shot engine uses —
@@ -31,32 +39,60 @@ call with the same seed, no matter how requests were packed into cohorts.
 """
 
 from repro.serving.cache import CacheLookup, PosteriorCache, observation_fingerprint
+from repro.serving.capture import (
+    ReplayMismatch,
+    ReplayReport,
+    RequestCapture,
+    load_capture,
+    posterior_digest,
+    replay_capture,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.serving.procpool import ProcessCohortPool, WorkerCrashed
 from repro.serving.request import (
     DeadlineExceeded,
+    PoolStopped,
     PosteriorRequest,
     ServedPosterior,
     ServiceOverloaded,
     ServingError,
+)
+from repro.serving.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceResilience,
+    is_transient,
 )
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.service import PosteriorService
 from repro.serving.workers import CohortWorkerPool
 
 __all__ = [
+    "BreakerOpen",
     "CacheLookup",
+    "CircuitBreaker",
     "CohortWorkerPool",
     "DeadlineExceeded",
     "MicroBatchScheduler",
+    "PoolStopped",
     "PosteriorCache",
     "PosteriorRequest",
     "PosteriorService",
     "ProcessCohortPool",
+    "ReplayMismatch",
+    "ReplayReport",
+    "RequestCapture",
+    "RetryPolicy",
     "ServedPosterior",
     "ServiceOverloaded",
+    "ServiceResilience",
     "ServingError",
     "ServingMetrics",
     "WorkerCrashed",
+    "is_transient",
+    "load_capture",
     "observation_fingerprint",
+    "posterior_digest",
+    "replay_capture",
 ]

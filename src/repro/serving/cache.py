@@ -32,8 +32,24 @@ from typing import Any, Dict, NamedTuple, Optional, Tuple
 import numpy as np
 
 from repro.ppl.empirical import FrozenPosterior
+from repro.testing import faults
 
 __all__ = ["PosteriorCache", "CacheLookup", "observation_fingerprint"]
+
+
+def _integrity_token(value: FrozenPosterior) -> Tuple[float, float, int]:
+    """Cheap checksum of a frozen posterior's scalar summaries.
+
+    Computed at :meth:`PosteriorCache.put` and re-verified on every lookup: a
+    cached posterior whose summaries no longer match what was stored (cache
+    poisoning, an aliasing bug mutating a "frozen" entry, a chaos-injected
+    corruption) is dropped and counted instead of served.
+    """
+    return (
+        float(getattr(value, "log_evidence", 0.0)),
+        float(value.effective_sample_size()),
+        int(len(value)),
+    )
 
 
 def observation_fingerprint(observation: Dict[str, Any], model_id: str, num_traces: int) -> str:
@@ -85,8 +101,8 @@ class PosteriorCache:
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
-        #: key -> (stored_at, frozen posterior, owning model id)
-        self._entries: "OrderedDict[str, Tuple[float, FrozenPosterior, Optional[str]]]" = (
+        #: key -> (stored_at, frozen posterior, owning model id, integrity token)
+        self._entries: "OrderedDict[str, Tuple[float, FrozenPosterior, Optional[str], Any]]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
@@ -96,6 +112,7 @@ class PosteriorCache:
         self.expirations = 0
         self.stale_hits = 0
         self.invalidations = 0
+        self.poison_detected = 0
 
     def get(
         self, key: str, record_miss: bool = True, allow_stale: bool = False
@@ -121,7 +138,15 @@ class PosteriorCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                stored_at, value, _model_id = entry
+                stored_at, value, _model_id, token = entry
+                if token is not None and _integrity_token(value) != token:
+                    # The entry mutated after storage (poisoning/aliasing):
+                    # drop it and fall through to a miss — a corrupted
+                    # posterior must never be served, fresh or stale.
+                    del self._entries[key]
+                    self.poison_detected += 1
+                    entry = None
+            if entry is not None:
                 expired = self.ttl is not None and self._clock() - stored_at >= self.ttl
                 if not expired:
                     self._entries.move_to_end(key)
@@ -152,8 +177,18 @@ class PosteriorCache:
         """Insert/refresh an entry (``model_id`` scopes later invalidation)."""
         if self.capacity == 0:
             return
+        try:
+            token = _integrity_token(value)
+        except Exception:
+            token = None  # duck-typed test doubles without summaries: skip the check
+        # Chaos hook: corrupt the entry *after* the token is computed — the
+        # injected mutation models a post-storage bit flip, which the
+        # integrity check must catch at lookup time.
+        action = faults.fault_point("cache.poison", key=key)
+        if action is not None and action.kind == "poison" and hasattr(value, "log_evidence"):
+            value.log_evidence = float(value.log_evidence) + 1.0e6
         with self._lock:
-            self._entries[key] = (self._clock(), value, model_id)
+            self._entries[key] = (self._clock(), value, model_id, token)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -174,7 +209,7 @@ class PosteriorCache:
             else:
                 doomed = [
                     key
-                    for key, (_stored_at, _value, entry_model) in self._entries.items()
+                    for key, (_stored_at, _value, entry_model, _token) in self._entries.items()
                     if entry_model == model_id
                 ]
                 for key in doomed:
@@ -208,5 +243,6 @@ class PosteriorCache:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "invalidations": self.invalidations,
+            "poison_detected": self.poison_detected,
             "hit_rate": self.hit_rate,
         }

@@ -46,6 +46,16 @@ class ServingMetrics:
         self.revalidations = 0
         self.traces_executed = 0
         self.cohorts_executed = 0
+        # Resilience surface: retry/breaker/demotion activity and the fault
+        # harness's injection count (synced from the active FaultPlan by the
+        # service's stats()), so a chaos run can assert every fault it asked
+        # for is observable here.
+        self.retries = 0
+        self.breaker_state = "closed"
+        self.breaker_opens = 0
+        self.demotions = 0
+        self.degraded_stale_served = 0
+        self.faults_injected = 0
         self._latencies: Deque[float] = deque(maxlen=window)
         #: per-flush (jobs, cohort capacity, distinct requests) records — one
         #: per scheduler flush, before any sharding across workers
@@ -86,6 +96,33 @@ class ServingMetrics:
         """A background refresh of a stale cache entry was started."""
         with self._lock:
             self.revalidations += 1
+
+    def record_retry(self, count: int = 1) -> None:
+        """A failed cohort shard was redispatched after backoff."""
+        with self._lock:
+            self.retries += count
+
+    def record_breaker(self, state: str) -> None:
+        """The circuit breaker transitioned; ``open`` transitions are counted."""
+        with self._lock:
+            self.breaker_state = state
+            if state == "open":
+                self.breaker_opens += 1
+
+    def record_demotion(self) -> None:
+        """The service demoted its execution backend (process -> thread)."""
+        with self._lock:
+            self.demotions += 1
+
+    def record_degraded_stale(self) -> None:
+        """A stale cache entry was served *without* revalidation (breaker open)."""
+        with self._lock:
+            self.degraded_stale_served += 1
+
+    def set_faults_injected(self, total: int) -> None:
+        """Sync the fault harness's cumulative injection count (monotone)."""
+        with self._lock:
+            self.faults_injected = max(self.faults_injected, int(total))
 
     def record_completed(self, latency: float, num_traces: int, cached: bool) -> None:
         with self._lock:
@@ -128,6 +165,12 @@ class ServingMetrics:
                 "cache_hit_rate": self.cache_hits / cache_total if cache_total else 0.0,
                 "stale_served": self.stale_served,
                 "revalidations": self.revalidations,
+                "retries": self.retries,
+                "breaker_state": self.breaker_state,
+                "breaker_opens": self.breaker_opens,
+                "demotions": self.demotions,
+                "degraded_stale_served": self.degraded_stale_served,
+                "faults_injected": self.faults_injected,
             }
             if latencies.size:
                 snapshot["latency_p50_s"] = float(np.percentile(latencies, 50))

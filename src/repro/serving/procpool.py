@@ -35,20 +35,31 @@ Lifecycle and failure semantics:
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
+import os
 import pickle
 import queue
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
-from repro.serving.request import ServingError
+from repro.serving.request import PoolStopped, ServingError
+from repro.testing import faults
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["ProcessCohortPool", "WorkerCrashed"]
 
 
 class WorkerCrashed(ServingError):
-    """A worker process died executing a shard and the requeue budget ran out."""
+    """A worker process died executing a shard and the requeue budget ran out.
+
+    Transient: the resilience layer (when enabled) retries the shard with
+    backoff — a crash storm that outlives the retry budget still surfaces.
+    """
+
+    transient = True
 
 
 def _picklable_error(error: BaseException) -> BaseException:
@@ -61,7 +72,13 @@ def _picklable_error(error: BaseException) -> BaseException:
 
 
 def _worker_main(
-    worker_index: int, task_queue, result_queue, model, network, use_plans: bool = False
+    worker_index: int,
+    task_queue,
+    result_queue,
+    model,
+    network,
+    use_plans: bool = False,
+    fault_plan=None,
 ) -> None:
     """Loop of one persistent worker process.
 
@@ -81,6 +98,10 @@ def _worker_main(
     """
     from repro.ppl.inference.batched import execute_trace_jobs
 
+    # Under `spawn` the parent's module-global fault plan does not exist in
+    # the child; install the pickled copy so child-side fault points fire.
+    if fault_plan is not None:
+        faults.install(fault_plan)
     plan_cache = None
     if use_plans and network is not None:
         from repro.ppl.inference.plans import PlanCache
@@ -93,6 +114,9 @@ def _worker_main(
         shard_id, jobs = item
         started = time.perf_counter()
         try:
+            action = faults.perform("procpool.worker", worker=worker_index, shard=shard_id)
+            if action is not None and action.kind == "crash":
+                os._exit(1)  # simulate an OOM kill / segfaulting simulator
             traces, stats = execute_trace_jobs(model, jobs, network, plan_cache=plan_cache)
             payload = pickle.dumps((traces, stats))
         except BaseException as error:  # noqa: BLE001 - shipped to the parent
@@ -246,7 +270,15 @@ class ProcessCohortPool:
         task_queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(index, task_queue, self._result_queue, self.model, self.network, self.use_plans),
+            args=(
+                index,
+                task_queue,
+                self._result_queue,
+                self.model,
+                self.network,
+                self.use_plans,
+                faults.active(),
+            ),
             name=f"cohort-proc-{index}",
             daemon=True,
         )
@@ -278,11 +310,37 @@ class ProcessCohortPool:
                 for worker in self._workers:
                     worker.outstanding.clear()
             for shard in dropped:
-                self._safe_callback(shard, None, ServingError("worker pool stopped"))
+                self._safe_callback(shard, None, PoolStopped("worker pool stopped"))
                 self._release_slot()
         self._stop_collector.set()
         if self._collector is not None:
             self._collector.join(timeout=5.0)
+            if self._collector.is_alive():
+                # Escalate loudly rather than return with a live collector: a
+                # worker wedged mid-result (or a hung queue feeder) is the only
+                # thing that can hold the collector past its drain check, so
+                # terminate every worker process to break the blockage, log
+                # the stuck state for the postmortem, and give the collector
+                # one more chance to observe the carnage and exit.
+                with self._lock:
+                    stuck_shards = sorted(self._shards)
+                    workers = list(self._workers) + list(self._retiring)
+                logger.error(
+                    "procpool collector failed its 5s join at stop "
+                    "(outstanding shards: %s; workers alive: %s); "
+                    "terminating worker processes",
+                    stuck_shards or "none",
+                    [w.index for w in workers if w.process.is_alive()] or "none",
+                )
+                for worker in workers:
+                    if worker.process.is_alive():
+                        worker.process.terminate()
+                self._collector.join(timeout=1.0)
+                if self._collector.is_alive():
+                    logger.error(
+                        "procpool collector is still alive after worker "
+                        "termination; abandoning it (daemon thread)"
+                    )
         # A submit that was blocked on backpressure may have registered a
         # shard after the cancel sweep above; fail it rather than leave its
         # callback unfired (the no-abandoned-futures guarantee).
@@ -294,7 +352,7 @@ class ProcessCohortPool:
             for worker in workers:
                 worker.outstanding.clear()
         for shard in leftovers:
-            self._safe_callback(shard, None, ServingError("worker pool stopped"))
+            self._safe_callback(shard, None, PoolStopped("worker pool stopped"))
             self._release_slot()
         for worker in workers:
             try:
@@ -338,13 +396,13 @@ class ProcessCohortPool:
         counters (the distributed driver uses it for per-rank attribution).
         """
         if not self._started or self._closing:
-            raise RuntimeError("process pool is not running")
+            raise PoolStopped("process pool is not running")
         self._slots.acquire()
         if not self._started or self._closing:
             # stop() raced the backpressure wait: refuse rather than register
             # a shard no collector will ever resolve.
             self._release_slot()
-            raise RuntimeError("process pool is not running")
+            raise PoolStopped("process pool is not running")
         jobs = [getattr(entry, "job", entry) for entry in entries]
         with self._lock:
             shard_id = next(self._shard_ids)
@@ -352,6 +410,16 @@ class ProcessCohortPool:
             worker = self._pick_worker()
             worker.outstanding.add(shard_id)
         worker.task_queue.put((shard_id, jobs))
+        # Chaos hook: "worker crash at shard N" — SIGKILL the worker this
+        # shard was just dispatched to.  The collector's liveness sweep then
+        # requeues (or fails) its outstanding shards exactly as a real OOM
+        # kill would.  Zero-cost when no fault plan is installed.
+        action = faults.fault_point("procpool.dispatch", shard=shard_id, worker=worker.index)
+        if action is not None and action.kind == "crash":
+            try:
+                worker.process.kill()
+            except Exception:
+                pass
 
     def _pick_worker(self) -> _Worker:
         """Least-loaded live worker (respawning any found dead while idle)."""
@@ -504,6 +572,31 @@ class ProcessCohortPool:
         else:
             jobs = [getattr(entry, "job", entry) for entry in shard.entries]
             worker.task_queue.put((shard_id, jobs))
+
+    # -------------------------------------------------------------- health probe
+    def probe(self) -> Dict[str, int]:
+        """Liveness sweep for the resilience maintenance thread.
+
+        Counts live/dead workers and respawns any worker found dead while
+        *idle* (the collector's own sweep only watches workers with shards
+        outstanding, so an idle crash would otherwise go unnoticed until the
+        next dispatch picks the corpse).  Busy dead workers are left to the
+        collector, which owns the requeue path.
+        """
+        live = dead = respawned = 0
+        with self._lock:
+            if not self._started or self._closing:
+                return {"live": 0, "dead": 0, "respawned": 0}
+            for slot, worker in enumerate(self._workers):
+                if worker.process.is_alive():
+                    live += 1
+                    continue
+                dead += 1
+                if not worker.outstanding:
+                    self.worker_crashes += 1
+                    self._workers[slot] = self._spawn_worker(worker.index)
+                    respawned += 1
+        return {"live": live, "dead": dead, "respawned": respawned}
 
     # ------------------------------------------------------------------- helpers
     def _safe_callback(self, shard: _Shard, traces, error) -> None:

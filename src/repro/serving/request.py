@@ -21,6 +21,7 @@ from repro.trace.trace import Trace
 
 __all__ = [
     "DeadlineExceeded",
+    "PoolStopped",
     "PosteriorRequest",
     "ServedPosterior",
     "ServiceOverloaded",
@@ -29,11 +30,32 @@ __all__ = [
 
 
 class ServingError(RuntimeError):
-    """Base class of serving-layer failures delivered through request futures."""
+    """Base class of serving-layer failures delivered through request futures.
+
+    Subclasses (and other error types) may set a class attribute
+    ``transient = True`` to mark the failure as retryable: the opt-in
+    resilience layer (:mod:`repro.serving.resilience`) redispatches transient
+    cohort failures with backoff instead of failing the request's future.
+    """
+
+    transient = False
 
 
 class ServiceOverloaded(ServingError):
     """The request was rejected at admission (queue full or service stopped)."""
+
+
+class PoolStopped(ServingError):
+    """A worker pool was stopped while this cohort was queued or in flight.
+
+    Transient: during a backend demotion the old pool's outstanding shards
+    fail with this error and are retried onto the replacement pool.  During a
+    real service stop the resilience layer is already down, so the error
+    passes through to the future exactly like the plain ``ServingError`` it
+    used to be.
+    """
+
+    transient = True
 
 
 class DeadlineExceeded(ServingError):

@@ -27,6 +27,7 @@ from collections import deque
 
 from repro.ppl.inference.batched import TraceJob
 from repro.serving.request import PosteriorRequest
+from repro.testing import faults
 
 __all__ = ["CohortEntry", "MicroBatchScheduler"]
 
@@ -157,6 +158,10 @@ class MicroBatchScheduler:
                 else:
                     self.num_latency_flushes += 1
                 try:
+                    # Chaos hook: flush-thread stragglers (delay) and injected
+                    # dispatch failures (error) share the real failure path
+                    # below.  Free when injection is off.
+                    faults.perform("scheduler.flush", size=len(cohort))
                     self._dispatch(cohort)
                 except BaseException as error:  # noqa: BLE001 - routed to futures
                     # A dispatch failure must not kill the flush thread (that

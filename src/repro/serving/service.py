@@ -34,7 +34,7 @@ import threading
 import time
 from concurrent.futures import Future
 from itertools import count
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.common.rng import RandomState, get_rng
 from repro.distributed.inference import shard_jobs
@@ -51,6 +51,7 @@ from repro.ppl.inference.batched import (
 )
 from repro.ppl.inference.plans import PlanCache
 from repro.serving.cache import PosteriorCache, observation_fingerprint
+from repro.serving.capture import RequestCapture, posterior_digest
 from repro.serving.metrics import ServingMetrics
 from repro.serving.procpool import ProcessCohortPool
 from repro.serving.request import (
@@ -60,8 +61,10 @@ from repro.serving.request import (
     ServiceOverloaded,
     ServingError,
 )
+from repro.serving.resilience import BreakerOpen, ServiceResilience
 from repro.serving.scheduler import CohortEntry, MicroBatchScheduler
 from repro.serving.workers import CohortWorkerPool
+from repro.testing import faults
 
 __all__ = ["PosteriorService"]
 
@@ -115,6 +118,20 @@ class PosteriorService:
         process its own (plans hold numpy scratch that must not cross process
         boundaries).  Planned and dynamic execution are bit-identical, so this
         only changes speed, never posteriors.
+    resilience:
+        Optional :class:`repro.serving.resilience.ServiceResilience`: retries
+        transient cohort failures with jittered backoff (deadline-aware),
+        circuit-breaks repeated failures (new uncached submissions then fail
+        fast with :class:`~repro.serving.resilience.BreakerOpen` while cached
+        — including stale — entries keep being served), health-probes the
+        process pool, and optionally demotes process → thread after crash
+        storms.  ``None`` (the default) keeps the loud fail-fast semantics.
+    capture:
+        Optional :class:`repro.serving.capture.RequestCapture` (or a path
+        string): every non-internal admitted request is recorded
+        (observation, stream snapshot, admission order, network version)
+        together with its outcome digest, for deterministic replay via
+        :func:`repro.serving.capture.replay_capture`.
     """
 
     def __init__(
@@ -136,6 +153,8 @@ class PosteriorService:
         mp_start_method: Optional[str] = None,
         max_requeues: int = 1,
         use_plans: bool = True,
+        resilience: Optional[ServiceResilience] = None,
+        capture: Optional[Union[str, RequestCapture]] = None,
         name: str = "posterior-service",
     ) -> None:
         if queue_capacity < 1:
@@ -196,6 +215,14 @@ class PosteriorService:
         self._running = False
         model_name = getattr(model, "name", type(model).__name__)
         self._model_id = f"{model_name}/{observe_key or ''}/{id(network)}"
+        #: guards backend demotion: the workers/backend swap must be atomic
+        #: with respect to concurrent demotion attempts (dispatch itself only
+        #: reads the attribute, which is atomic).
+        self._backend_lock = threading.RLock()
+        self._resilience = resilience
+        if self._resilience is not None:
+            self._resilience.bind(self)
+        self._capture = RequestCapture(capture) if isinstance(capture, str) else capture
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "PosteriorService":
@@ -207,7 +234,11 @@ class PosteriorService:
             # In-place retraining makes every cached posterior wrong (not just
             # old): drop this service's entries the moment it happens.
             self.network.add_update_listener(self._on_network_updated)
+        if self._capture is not None:
+            self._capture.write_header(self._model_id, getattr(self.network, "version", 0))
         self._running = True
+        if self._resilience is not None:
+            self._resilience.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -227,11 +258,20 @@ class PosteriorService:
             self.scheduler.cancel_pending(
                 lambda request: ServiceOverloaded("service stopped before request ran")
             )
+        # Resilience goes down before the pool: requests still waiting out a
+        # retry backoff fail here (they are failures being retried, not
+        # admitted work in the pool — drain does not wait for them), and any
+        # cohort failure surfacing during the pool's drain passes straight
+        # through to the futures instead of being rescheduled.
+        if self._resilience is not None:
+            self._resilience.stop()
         self.workers.stop(drain=drain)
         # Anything still unresolved (e.g. stop(drain=False) raced a cohort) is
         # failed rather than left hanging on its future forever.
         for request in list(self._inflight.values()):
             request.fail(ServingError("service stopped"))
+        if self._capture is not None:
+            self._capture.close()
 
     def shutdown(self, drain: bool = True) -> None:
         """Alias of :meth:`stop` (the common serving-framework spelling)."""
@@ -292,7 +332,15 @@ class PosteriorService:
                 self.metrics.record_cache(True)
                 if found.stale:
                     self.metrics.record_stale_served()
-                    self._schedule_revalidation(observation, observation_array, num_traces, key)
+                    if self._resilience is not None and self._resilience.degraded():
+                        # Degraded mode: keep answering from the stale entry
+                        # but skip the refresh — revalidation traffic against
+                        # an open breaker would only feed the failure storm.
+                        self.metrics.record_degraded_stale()
+                    else:
+                        self._schedule_revalidation(
+                            observation, observation_array, num_traces, key
+                        )
                 future: "Future[ServedPosterior]" = Future()
                 result = ServedPosterior(
                     request_id=next(self._request_ids),
@@ -319,6 +367,13 @@ class PosteriorService:
                     return self._attach_to_inflight(primary, num_traces)
                 self.cache.record_miss()
                 self.metrics.record_cache(False)
+            if self._resilience is not None and self._resilience.degraded():
+                # Fail fast instead of queueing fresh inference behind a pool
+                # the breaker has declared dead; cached (and stale) entries
+                # were already served above.
+                raise BreakerOpen(
+                    "circuit breaker open: no cached posterior for this observation"
+                )
             request_rng = rng or (RandomState(seed) if seed is not None else self._rng)
             request = self._admit_locked(
                 observation, observation_array, num_traces, key, deadline, request_rng
@@ -347,6 +402,12 @@ class PosteriorService:
                 f"pending queue full ({self.scheduler.pending_jobs} jobs pending, "
                 f"capacity {self.queue_capacity})"
             )
+        # Chaos hook: synthetic queue-full bursts take the exact rejection
+        # path a real overload takes.  Free when injection is off.
+        action = faults.fault_point("service.admit", num_traces=num_traces)
+        if action is not None and action.kind == "reject":
+            self.metrics.record_rejected()
+            raise ServiceOverloaded("injected admission rejection (queue-full burst)")
         request_id = next(self._request_ids)
         request = PosteriorRequest(
             request_id,
@@ -360,6 +421,16 @@ class PosteriorService:
         # while this request is in flight, its posterior (old/mid-training
         # parameters) must not be written into the freshly invalidated cache.
         request.network_version = getattr(self.network, "version", 0)  # type: ignore[attr-defined]
+        # Capture before per_trace_rngs consumes the request stream: the
+        # recorded snapshot must be the pre-derivation state replay restores.
+        if self._capture is not None and not internal:
+            request.capture_order = self._capture.record_admission(  # type: ignore[attr-defined]
+                request_id,
+                observation,
+                num_traces,
+                request_rng.snapshot(),
+                request.network_version,  # type: ignore[attr-defined]
+            )
         self._inflight_keys[key] = request
         # Cleanup rides on the future itself, so *every* resolution path
         # (completion, worker failure, shedding, scheduler-side failure,
@@ -370,6 +441,13 @@ class PosteriorService:
         # its rng argument (under the admission lock — shared-stream
         # submits must not interleave).
         trace_rngs = per_trace_rngs(request_rng, num_traces)
+        if self._resilience is not None:
+            # Thread-backend cohorts consume these generators in place, so a
+            # retried shard needs each stream's admission-time state to rewind
+            # to (see ServiceResilience._redispatch).
+            request.rng_snapshots = [  # type: ignore[attr-defined]
+                trace_rng.generator.bit_generator.state for trace_rng in trace_rngs
+            ]
         entries = [
             CohortEntry(
                 TraceJob(request_id, observation, observation_array, trace_rng),
@@ -481,16 +559,30 @@ class PosteriorService:
         self.metrics.record_cohort(len(entries), self.scheduler.max_batch, len(requests))
         shards = shard_jobs(entries, self.workers.num_workers, min_shard_size=self.shard_min)
         for shard in shards:
+            if self._resilience is not None and not self._resilience.breaker.allow():
+                # allow() is the consuming check: in half-open state exactly
+                # one shard per recovery window gets through as the probe.
+                self._absorb_failure(
+                    shard, BreakerOpen("circuit breaker open: cohort dispatch refused")
+                )
+                continue
             try:
                 self.workers.submit(shard, self._on_cohort_done)
             except BaseException as error:  # noqa: BLE001 - routed to futures
-                for entry in shard:
-                    self._fail_request(entry.request, error)
+                self._absorb_failure(shard, error)
+
+    def _absorb_failure(self, entries: List[CohortEntry], error: BaseException) -> None:
+        """Route a failed shard through resilience (if any), fail the rest."""
+        if self._resilience is not None:
+            entries = self._resilience.handle_failure(entries, error)
+        for entry in entries:
+            self._fail_request(entry.request, error)
 
     def _fail_request(self, request: PosteriorRequest, error: BaseException) -> None:
         """Fail a request; internal (refresh) requests skip the client metric."""
         if request.fail(error) and not getattr(request, "internal", False):
             self.metrics.record_failed()
+            self._record_capture_outcome(request, "failed", error=error)
 
     def _execute_cohort(self, jobs: List[TraceJob]):
         """Thread-worker hook: run one lockstep cohort through the mixed engine."""
@@ -516,9 +608,10 @@ class PosteriorService:
     def _on_cohort_done(self, entries: List[CohortEntry], traces, error) -> None:
         """Worker completion hook: route traces (or the failure) to requests."""
         if error is not None:
-            for entry in entries:
-                self._fail_request(entry.request, error)
+            self._absorb_failure(list(entries), error)
             return
+        if self._resilience is not None:
+            self._resilience.record_success()
         completed = []
         for entry, trace in zip(entries, traces):
             if entry.request.deliver(entry.position, trace):
@@ -563,6 +656,29 @@ class PosteriorService:
         )
         if request.complete(result) and not getattr(request, "internal", False):
             self.metrics.record_completed(latency, request.num_traces, cached=False)
+            if self._capture is not None:
+                self._record_capture_outcome(
+                    request, "completed", digest=posterior_digest(posterior)
+                )
+
+    def _record_capture_outcome(
+        self,
+        request: PosteriorRequest,
+        status: str,
+        digest: Optional[str] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if self._capture is None:
+            return
+        order = getattr(request, "capture_order", None)
+        if order is None:
+            return
+        self._capture.record_outcome(
+            order,
+            status,
+            digest=digest,
+            error=None if error is None else f"{type(error).__name__}: {error}",
+        )
 
     def _finish(self, request: PosteriorRequest) -> None:
         """Future done-callback: drop the request from the in-flight tables.
@@ -579,6 +695,8 @@ class PosteriorService:
             self._inflight.pop(request.request_id, None)
             if key is not None and self._inflight_keys.get(key) is request:
                 del self._inflight_keys[key]
+        if self._resilience is not None:
+            self._resilience.forget(request.request_id)
 
     def _shed(self, request: PosteriorRequest) -> None:
         """Scheduler shed hook: the request's deadline passed while queued."""
@@ -588,6 +706,41 @@ class PosteriorService:
             )
         ):
             self.metrics.record_shed()
+            self._record_capture_outcome(request, "shed")
+
+    # ----------------------------------------------------------------- demotion
+    def _demote_to_thread_backend(self) -> bool:
+        """Swap the process pool for a thread pool in place (crash-storm exit).
+
+        Called by the resilience maintenance thread after ``demote_after``
+        breaker openings: repeated worker-process death usually means the
+        environment is hostile to subprocesses (fd limits, OOM killer,
+        container teardown), and threads — slower under the GIL but sharing
+        the parent's fate — keep the service answering.  Outstanding shards
+        on the old pool fail with the transient
+        :class:`~repro.serving.request.PoolStopped` and are retried onto the
+        replacement, so the swap itself sheds nothing.  Results stay
+        bit-identical across the swap: every trace stream is derived in the
+        parent at admission, the same reason backends agree in the first
+        place.
+        """
+        with self._backend_lock:
+            if self.backend != "process" or not self._running:
+                return False
+            old = self.workers
+            if self.use_plans and self._plan_cache is None:
+                # The thread backend shares one plan cache across workers; the
+                # process backend kept per-process caches, so build one now.
+                self._plan_cache = PlanCache()
+            replacement = CohortWorkerPool(self._execute_cohort, num_workers=old.num_workers)
+            replacement.start()
+            self.workers = replacement
+            self.backend = replacement.backend
+        self.metrics.record_demotion()
+        # Must NOT run on the procpool collector thread (stop joins it); the
+        # resilience maintenance thread is the sanctioned caller.
+        old.stop(drain=False, timeout=2.0)
+        return True
 
     # -------------------------------------------------------------- invalidation
     def invalidate_cache(self) -> int:
@@ -616,6 +769,11 @@ class PosteriorService:
     # ----------------------------------------------------------------- reporting
     def stats(self) -> Dict[str, Any]:
         """Merged metrics/cache/scheduler/worker/engine snapshot."""
+        plan = faults.active()
+        if plan is not None:
+            # Sync before snapshotting so every parent-side injected fault is
+            # observable in the metrics surface the moment stats() is read.
+            self.metrics.set_faults_injected(plan.total_fired())
         snapshot = self.metrics.snapshot()
         snapshot["backend"] = self.backend
         snapshot["cache"] = self.cache.stats()
@@ -625,4 +783,8 @@ class PosteriorService:
             snapshot["engine"] = dict(self._engine_stats)
         if self._plan_cache is not None:
             snapshot["plans"] = self._plan_cache.stats()
+        if self._resilience is not None:
+            snapshot["resilience"] = self._resilience.stats()
+        if plan is not None:
+            snapshot["faults"] = plan.fired_counts()
         return snapshot

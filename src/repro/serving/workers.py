@@ -25,7 +25,8 @@ import queue
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.serving.request import ServingError
+from repro.serving.request import PoolStopped
+from repro.testing import faults
 
 __all__ = ["CohortWorkerPool"]
 
@@ -124,7 +125,7 @@ class CohortWorkerPool:
             with self._stats_lock:
                 self.cancelled_cohorts += 1
             try:
-                callback(entries, None, ServingError("worker pool stopped"))
+                callback(entries, None, PoolStopped("worker pool stopped"))
             except Exception:
                 pass
 
@@ -140,6 +141,10 @@ class CohortWorkerPool:
                 return
             entries, callback = item
             try:
+                # Chaos hook: straggler delays and injected cohort failures
+                # land inside the try, so an injected error takes the exact
+                # path a real cohort failure takes.  Free when injection is off.
+                faults.perform("workers.cohort", size=len(entries))
                 traces = self._run_cohort([entry.job for entry in entries])
             except BaseException as error:  # noqa: BLE001 - delivered to requests
                 with self._stats_lock:

@@ -1,0 +1,37 @@
+"""Test-support subsystems that ship with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness: the
+serving tier, the PPX transports and the process pool expose explicit fault
+points that a seedable :class:`~repro.testing.faults.FaultPlan` can trigger.
+It lives under ``src`` (not ``tests``) because the chaos harness is part of
+the product's verification surface — CI drives it, and operators can replay a
+failing chaos seed locally against an installed copy.
+"""
+
+from repro.testing.faults import (
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activate,
+    active,
+    clear,
+    fault_point,
+    injected_counts,
+    install,
+    perform,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "activate",
+    "active",
+    "clear",
+    "fault_point",
+    "injected_counts",
+    "install",
+    "perform",
+]
